@@ -1,0 +1,56 @@
+"""Ablation: cover-tree vs brute-force BCP in the merge step.
+
+Step (2) of the exact algorithm solves bichromatic-closest-pair
+problems between neighboring core sets.  The paper uses cover trees
+with early-exit NN queries (Lemma 5's ``O(n z log(ε/δ))``); this bench
+compares against brute-force BCP on instances with large, adjacent
+clusters where the merge step dominates.
+"""
+
+import numpy as np
+
+from repro import MetricDBSCAN, MetricDataset
+from repro.datasets import make_moons
+
+from common import format_table, timed, write_report
+
+MIN_PTS = 10
+EPS = 0.12
+
+
+def run_comparison():
+    rows = []
+    for n in (600, 1200, 2400):
+        pts, _ = make_moons(n=n, noise=0.06, outlier_fraction=0.02, seed=0)
+        results = {}
+        for mode, use_tree in (("cover-tree BCP", True), ("brute BCP", False)):
+            counted = MetricDataset(pts).with_counting()
+            result, seconds = timed(
+                lambda: MetricDBSCAN(EPS, MIN_PTS, use_cover_tree=use_tree).fit(
+                    counted
+                )
+            )
+            results[mode] = result
+            merge_time = result.timings.phases["merge"]
+            rows.append((
+                n, mode, f"{seconds:.3f}", f"{merge_time:.3f}",
+                f"{counted.metric.count:,}",
+            ))
+        assert np.array_equal(
+            results["cover-tree BCP"].core_mask, results["brute BCP"].core_mask
+        )
+    return rows
+
+
+def test_ablation_bcp(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    lines = [
+        f"Ablation — BCP strategy in Step (2) (moons, eps={EPS}, "
+        f"MinPts={MIN_PTS}); outputs verified identical",
+        "",
+    ]
+    lines += format_table(
+        ["n", "merge strategy", "total s", "merge s", "distance evals"], rows
+    )
+    write_report("ablation_bcp", lines)
+    assert rows

@@ -1,0 +1,64 @@
+"""Ablation: the dense-sphere shortcut in Step (1).
+
+The E1/E2 split (Lemma 4) labels every point of a dense cover set
+(``|C_e| >= MinPts``) as core without any distance computation; the
+fallback counts ε-neighbors for every point.  This bench disables the
+shortcut to quantify its contribution — largest on dense data where
+most spheres are dense.
+"""
+
+import numpy as np
+
+from repro import MetricDBSCAN, MetricDataset
+from repro.datasets import make_blobs
+
+from common import format_table, timed, write_report
+
+MIN_PTS = 10
+EPS = 0.8
+
+
+def run_comparison():
+    rows = []
+    for n in (600, 1500):
+        pts, _ = make_blobs(
+            n=n, n_clusters=4, dim=2, std=0.4, outlier_fraction=0.02, seed=0
+        )
+        results = {}
+        for mode, shortcut in (("with shortcut", True), ("without shortcut", False)):
+            counted = MetricDataset(pts).with_counting()
+            result, seconds = timed(
+                lambda: MetricDBSCAN(EPS, MIN_PTS, dense_shortcut=shortcut).fit(
+                    counted
+                )
+            )
+            results[mode] = result
+            rows.append((
+                n, mode, f"{seconds:.3f}",
+                f"{result.timings.phases['label_cores']:.3f}",
+                f"{counted.metric.count:,}",
+            ))
+        assert np.array_equal(
+            results["with shortcut"].core_mask,
+            results["without shortcut"].core_mask,
+        )
+    return rows
+
+
+def test_ablation_dense_shortcut(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    lines = [
+        f"Ablation — dense-sphere shortcut in Step (1) (blobs, eps={EPS}, "
+        f"MinPts={MIN_PTS}); outputs verified identical",
+        "",
+    ]
+    lines += format_table(
+        ["n", "mode", "total s", "label_cores s", "distance evals"], rows
+    )
+    write_report("ablation_dense_shortcut", lines)
+    # The shortcut must reduce distance evaluations.
+    by_mode = {}
+    for n, mode, _, _, evals in rows:
+        by_mode.setdefault(mode, 0)
+        by_mode[mode] += int(evals.replace(",", ""))
+    assert by_mode["with shortcut"] < by_mode["without shortcut"]

@@ -1,0 +1,63 @@
+"""Ablation: Gonzalez net (Section 3.1) vs cover-tree-level net
+(Section 3.2).
+
+When the whole input (outliers included) has low doubling dimension,
+Section 3.2 extracts the center set from one cover tree instead of
+running Algorithm 1 — and the same tree serves every ε, so tuning is
+even cheaper.  Both nets must produce identical exact DBSCAN output.
+"""
+
+import numpy as np
+
+from repro import MetricDBSCAN, MetricDataset
+from repro.core import net_from_cover_tree
+from repro.covertree import CoverTree
+from repro.datasets import make_blobs
+
+from common import format_table, timed, write_report
+
+MIN_PTS = 10
+EPS_GRID = (0.6, 0.8, 1.2)
+
+
+def run_comparison():
+    pts, _ = make_blobs(
+        n=900, n_clusters=4, dim=2, std=0.4, outlier_fraction=0.0, seed=0
+    )
+    ds = MetricDataset(pts)
+    rows = []
+
+    def gonzalez_sweep():
+        return [MetricDBSCAN(eps, MIN_PTS).fit(ds) for eps in EPS_GRID]
+
+    gz_results, gz_time = timed(gonzalez_sweep)
+    rows.append(("Gonzalez net per eps (Sec 3.1)", f"{gz_time:.3f}"))
+
+    def cover_tree_sweep():
+        tree = CoverTree(ds)
+        out = []
+        for eps in EPS_GRID:
+            net = net_from_cover_tree(ds, eps, tree=tree)
+            out.append(MetricDBSCAN(eps, MIN_PTS).fit(ds, net=net))
+        return out
+
+    ct_results, ct_time = timed(cover_tree_sweep)
+    rows.append(("one cover tree, level nets (Sec 3.2)", f"{ct_time:.3f}"))
+
+    for gz, ct in zip(gz_results, ct_results):
+        assert np.array_equal(gz.core_mask, ct.core_mask)
+        assert np.array_equal(gz.labels == -1, ct.labels == -1)
+    return rows
+
+
+def test_ablation_preprocessing(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    lines = [
+        "Ablation — preprocessing source for the exact solver "
+        f"(blobs n=900, eps grid {EPS_GRID}, MinPts={MIN_PTS}); "
+        "outputs verified identical",
+        "",
+    ]
+    lines += format_table(["preprocessing", "sweep seconds"], rows)
+    write_report("ablation_preprocessing", lines)
+    assert rows

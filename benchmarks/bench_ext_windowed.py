@@ -1,0 +1,74 @@
+"""Extension bench: sliding-window DBSCAN under drift.
+
+Not a paper figure — it exercises the future-work item ("data deletion
+and drift") from the paper's conclusion, implemented in
+``core/windowed.py``.  A drifting session stream is played into the
+windowed model; at checkpoints we compare its window-local view against
+a batch ρ-approximate run over exactly the same window contents, and
+confirm abandoned regions are forgotten.
+"""
+
+import numpy as np
+
+from repro import ApproxMetricDBSCAN, MetricDataset, WindowedApproxDBSCAN
+from repro.datasets import make_session_stream
+from repro.evaluation import adjusted_rand_index
+
+from common import format_table, write_report
+
+EPS, MIN_PTS, RHO = 2.5, 8, 0.5
+WINDOW = 1000
+
+
+def run_drift():
+    points, _ = make_session_stream(
+        n=6000, dim=6, n_clusters=3, drift=40.0, outlier_fraction=0.01, seed=0
+    )
+    model = WindowedApproxDBSCAN(
+        EPS, MIN_PTS, rho=RHO, window=WINDOW, n_buckets=8
+    )
+    rows = []
+    checkpoints = (1500, 3000, 4500, 6000)
+    for t, point in enumerate(points, start=1):
+        model.insert(point)
+        if t in checkpoints:
+            window_pts = points[t - WINDOW : t]
+            batch = ApproxMetricDBSCAN(EPS, MIN_PTS, rho=RHO).fit(
+                MetricDataset(window_pts)
+            )
+            # Agreement: label each window point via the windowed model's
+            # predict() and compare partitions with the batch run.
+            win_labels = np.array([model.predict(p) for p in window_pts])
+            agreement = adjusted_rand_index(batch.labels, win_labels)
+            # A probe far behind the drift must be forgotten.
+            # With drift 40 over the stream, a point from 5 windows
+            # ago is far outside every live cluster.
+            stale_probe = points[max(0, t - 5 * WINDOW)]
+            rows.append((
+                t,
+                model.n_clusters,
+                batch.n_clusters,
+                f"{agreement:.3f}",
+                model.n_live_centers,
+                "noise" if t > 2 * WINDOW and model.predict(stale_probe) < 0
+                else "live",
+            ))
+    return rows
+
+
+def test_ext_windowed_drift(benchmark):
+    rows = benchmark.pedantic(run_drift, rounds=1, iterations=1)
+    lines = [
+        "Extension — sliding-window DBSCAN vs batch re-run on the same "
+        f"window (eps={EPS}, MinPts={MIN_PTS}, rho={RHO}, window={WINDOW})",
+        "",
+    ]
+    lines += format_table(
+        ["t", "window clusters", "batch clusters", "ARI vs batch",
+         "live centers", "stale probe"],
+        rows,
+    )
+    write_report("ext_windowed_drift", lines)
+    # The window view must stay close to the batch ground truth.
+    agreements = [float(r[3]) for r in rows]
+    assert sum(a >= 0.7 for a in agreements) >= len(agreements) - 1

@@ -1,0 +1,67 @@
+"""Figure 4: clustering quality (ARI/AMI) with fixed ε and varying ρ.
+
+The paper fixes ε per dataset and sweeps ρ over {0.1, 0.5, 1, 2} on the
+four image datasets, comparing the approximate solver's labels against
+ground truth, with exact DBSCAN as the reference line.  The expected
+shape: at ρ = 0.5 the approximation is within a few points of exact
+(the paper's headline for Section 5.3), and quality degrades slowly —
+not necessarily monotonically (Remark 7) — as ρ grows.
+"""
+
+import pytest
+
+from repro import ApproxMetricDBSCAN, MetricDBSCAN
+from repro.datasets import load_dataset
+from repro.evaluation import adjusted_mutual_information, adjusted_rand_index
+
+from common import format_table, write_report
+
+RHOS = (0.1, 0.5, 1.0, 2.0)
+MIN_PTS = 10
+CONFIG = {
+    "mnist": dict(size=700, eps=3.0),
+    "usps_hw": dict(size=700, eps=3.0),
+    "fashion_mnist": dict(size=700, eps=3.0),
+    "cifar10": dict(size=600, eps=3.5),
+}
+
+
+def run_dataset(name):
+    cfg = CONFIG[name]
+    loaded = load_dataset(name, size=cfg["size"], seed=0)
+    eps = cfg["eps"]
+    exact = MetricDBSCAN(eps, MIN_PTS).fit(loaded.dataset)
+    rows = [(
+        "exact", "-",
+        f"{adjusted_rand_index(loaded.labels, exact.labels):.3f}",
+        f"{adjusted_mutual_information(loaded.labels, exact.labels):.3f}",
+        exact.n_clusters,
+    )]
+    scores = {}
+    for rho in RHOS:
+        approx = ApproxMetricDBSCAN(eps, MIN_PTS, rho=rho).fit(loaded.dataset)
+        ari = adjusted_rand_index(loaded.labels, approx.labels)
+        ami = adjusted_mutual_information(loaded.labels, approx.labels)
+        scores[rho] = (ari, ami)
+        rows.append((
+            "approx", f"{rho:g}", f"{ari:.3f}", f"{ami:.3f}", approx.n_clusters
+        ))
+    exact_ari = adjusted_rand_index(loaded.labels, exact.labels)
+    return loaded, rows, scores, exact_ari
+
+
+@pytest.mark.parametrize("name", list(CONFIG))
+def test_fig4_rho_sweep(benchmark, name):
+    loaded, rows, scores, exact_ari = benchmark.pedantic(
+        lambda: run_dataset(name), rounds=1, iterations=1
+    )
+    lines = [
+        f"Figure 4 ({name}) — ARI/AMI vs rho at fixed eps "
+        f"(n={loaded.dataset.n}, MinPts={MIN_PTS})",
+        "",
+    ]
+    lines += format_table(["algorithm", "rho", "ARI", "AMI", "clusters"], rows)
+    write_report(f"fig4_rho_{name}", lines)
+    # Paper claim: rho=0.5 tracks the exact solver closely.
+    ari_half, _ = scores[0.5]
+    assert ari_half >= exact_ari - 0.2

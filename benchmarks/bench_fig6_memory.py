@@ -1,0 +1,66 @@
+"""Figure 6: memory usage of the streaming algorithm.
+
+The paper plots the ratio ``(|E| + |M|) / n`` for ρ ∈ {0.5, 1, 2} over
+a range of ε per dataset.  Expected shape: the ratio falls sharply as
+either ε or ρ grows (coarser nets), and is far below 1 at the
+operating points used in Table 4 (the paper's green diamonds).
+"""
+
+import pytest
+
+from repro import StreamingApproxDBSCAN
+from repro.datasets import load_dataset
+from repro.evaluation import adjusted_rand_index
+
+from common import format_table, write_report
+
+MIN_PTS = 10
+RHOS = (0.5, 1.0, 2.0)
+CONFIG = {
+    "moons": dict(size=1500, eps_values=(0.08, 0.12, 0.2, 0.3)),
+    "fashion_mnist": dict(size=800, eps_values=(2.0, 3.0, 4.0, 5.0)),
+    "glove25": dict(size=1500, eps_values=(1.5, 2.5, 3.5, 4.5)),
+}
+
+
+def run_dataset(name):
+    cfg = CONFIG[name]
+    loaded = load_dataset(name, size=cfg["size"], seed=0)
+    rows = []
+    ratios = {}
+    for rho in RHOS:
+        for eps in cfg["eps_values"]:
+            result = StreamingApproxDBSCAN(eps, MIN_PTS, rho=rho).fit(loaded.dataset)
+            ratio = result.stats["memory_ratio"]
+            ratios[(rho, eps)] = ratio
+            rows.append((
+                f"{rho:g}", f"{eps:g}",
+                result.stats["n_centers"], result.stats["watch_size"],
+                f"{ratio:.3f}",
+                f"{adjusted_rand_index(loaded.labels, result.labels):.3f}",
+            ))
+    return loaded, rows, ratios, cfg
+
+
+@pytest.mark.parametrize("name", list(CONFIG))
+def test_fig6_memory_ratio(benchmark, name):
+    loaded, rows, ratios, cfg = benchmark.pedantic(
+        lambda: run_dataset(name), rounds=1, iterations=1
+    )
+    lines = [
+        f"Figure 6 ({name}) — streaming memory ratio (|E|+|M|)/n "
+        f"(n={loaded.dataset.n}, MinPts={MIN_PTS})",
+        "",
+    ]
+    lines += format_table(
+        ["rho", "eps", "|E|", "|M|", "(|E|+|M|)/n", "ARI"], rows
+    )
+    write_report(f"fig6_memory_{name}", lines)
+    eps_values = cfg["eps_values"]
+    # Shape checks: ratio decreases with eps (per rho) and with rho (per eps).
+    for rho in RHOS:
+        assert ratios[(rho, eps_values[-1])] <= ratios[(rho, eps_values[0])]
+    for eps in eps_values:
+        assert ratios[(2.0, eps)] <= ratios[(0.5, eps)] + 1e-9
+    # The largest operating point keeps only a small fraction in memory.
+    assert ratios[(2.0, eps_values[-1])] < 0.3

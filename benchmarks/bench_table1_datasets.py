@@ -1,0 +1,42 @@
+"""Table 1: the dataset inventory.
+
+Regenerates the paper's dataset table using the synthetic stand-ins
+(DESIGN.md §3), recording both the stand-in scale used by this bench
+suite and the original scale from the paper.  The benchmark timing is
+the generation cost of the full registry.
+"""
+
+from repro.datasets import REGISTRY, load_dataset
+
+from common import format_table, write_report
+
+BENCH_SIZE = 200  # per-dataset stand-in size for this inventory pass
+
+
+def build_all():
+    return {name: load_dataset(name, size=BENCH_SIZE, seed=0) for name in REGISTRY}
+
+
+def test_table1_dataset_inventory(benchmark):
+    loaded = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    rows = []
+    for name, spec in REGISTRY.items():
+        data = loaded[name]
+        n_outliers = int((data.labels == -1).sum())
+        rows.append((
+            name,
+            spec.category,
+            spec.paper_dim,
+            f"{spec.paper_n:,}",
+            data.dataset.n,
+            n_outliers,
+            spec.note or "-",
+        ))
+    lines = ["Table 1 — datasets (synthetic stand-ins; see DESIGN.md §3)", ""]
+    lines += format_table(
+        ["dataset", "category", "paper dim", "paper n", "stand-in n",
+         "outliers", "note"],
+        rows,
+    )
+    write_report("table1_datasets", lines)
+    assert len(loaded) == len(REGISTRY)

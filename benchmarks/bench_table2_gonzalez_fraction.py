@@ -1,0 +1,94 @@
+"""Table 2: runtime proportion of Algorithm 1 inside Our_Exact.
+
+The paper reports that the radius-guided Gonzalez preprocessing takes
+60-99% of the exact solver's total time across datasets — which is why
+caching it across parameter tuning (Remark 5) pays off.  Part 2
+quantifies that payoff: a (ε, MinPts) tuning sweep with and without the
+cached net.
+"""
+
+import pytest
+
+from repro import MetricDBSCAN
+from repro.datasets import load_dataset
+
+from common import format_table, timed, write_report
+
+MIN_PTS = 10
+CONFIG = {
+    "moons": dict(size=1200, eps=0.12),
+    "cancer": dict(size=569, eps=2.5),
+    "usps_hw": dict(size=700, eps=3.0),
+    "biodeg": dict(size=800, eps=2.5),
+    "mnist": dict(size=700, eps=3.0),
+    "fashion_mnist": dict(size=700, eps=3.0),
+    "ag_news": dict(size=220, eps=9.0),
+    "mrpc": dict(size=220, eps=9.0),
+}
+
+
+def run_fractions():
+    rows = []
+    for name, cfg in CONFIG.items():
+        loaded = load_dataset(name, size=cfg["size"], seed=0)
+        result = MetricDBSCAN(cfg["eps"], MIN_PTS).fit(loaded.dataset)
+        gonzalez = result.timings.phases["gonzalez"]
+        total = result.timings.total
+        rows.append((
+            name,
+            f"{gonzalez * 1000:.1f}",
+            f"{total * 1000:.1f}",
+            f"{result.timings.fraction('gonzalez'):.0%}",
+        ))
+    return rows
+
+
+def test_table2_gonzalez_fraction(benchmark):
+    rows = benchmark.pedantic(run_fractions, rounds=1, iterations=1)
+    lines = [
+        "Table 2 — runtime proportion of Algorithm 1 in Our_Exact "
+        f"(MinPts={MIN_PTS})",
+        "",
+    ]
+    lines += format_table(
+        ["dataset", "Radius-guided Gonzalez (ms)", "Total (ms)", "proportion"],
+        rows,
+    )
+    write_report("table2_gonzalez_fraction", lines)
+    # Shape check: the preprocessing dominates on most datasets.
+    fractions = [float(r[3].rstrip("%")) for r in rows]
+    assert sum(f >= 40.0 for f in fractions) >= len(fractions) // 2
+
+
+def tuning_sweep():
+    loaded = load_dataset("mnist", size=700, seed=0)
+    eps_grid = (2.5, 3.0, 3.5, 4.0)
+    _, cold_time = timed(lambda: [
+        MetricDBSCAN(eps, MIN_PTS).fit(loaded.dataset) for eps in eps_grid
+    ])
+
+    def warm():
+        net = MetricDBSCAN.precompute(loaded.dataset, r_bar=min(eps_grid) / 2.0)
+        return [
+            MetricDBSCAN(eps, MIN_PTS).fit(loaded.dataset, net=net)
+            for eps in eps_grid
+        ]
+
+    _, warm_time = timed(warm)
+    return cold_time, warm_time, eps_grid
+
+
+def test_table2_tuning_reuse(benchmark):
+    cold_time, warm_time, eps_grid = benchmark.pedantic(
+        tuning_sweep, rounds=1, iterations=1
+    )
+    lines = [
+        "Section 5.5 — parameter tuning with the Gonzalez net cached "
+        "(Remark 5), mnist stand-in, 4-point eps grid",
+        "",
+        f"cold sweep (net rebuilt per eps): {cold_time:.3f}s",
+        f"cached sweep (one net):           {warm_time:.3f}s",
+        f"speedup:                          {cold_time / warm_time:.2f}x",
+    ]
+    write_report("table2_tuning_reuse", lines)
+    assert warm_time < cold_time

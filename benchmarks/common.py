@@ -1,0 +1,80 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure from the paper's Section 5.
+Each writes a plain-text report into ``benchmarks/results/`` (so the
+rows survive pytest's output capture) and registers one or more
+pytest-benchmark timings.  Reports contain the same rows/series the
+paper shows; absolute numbers differ (pure Python + synthetic stand-in
+data) but the qualitative shape is the reproduction target.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def write_report(name: str, lines: Iterable[str]) -> Path:
+    """Write (and echo) a bench report under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    text = "\n".join(lines) + "\n"
+    path.write_text(text)
+    print(f"\n--- {name} ---")
+    print(text)
+    return path
+
+
+def timed(fn: Callable[[], object]) -> Tuple[object, float]:
+    """Run ``fn`` once, returning (result, wall_seconds)."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def format_table(header: Sequence[str], rows: Iterable[Sequence[object]]) -> List[str]:
+    """Fixed-width text table."""
+    rows = [tuple(str(c) for c in row) for row in rows]
+    header = tuple(str(c) for c in header)
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+    out = [fmt(header), fmt(tuple("-" * w for w in widths))]
+    out.extend(fmt(row) for row in rows)
+    return out
+
+
+def ascii_scatter(
+    points: np.ndarray, labels: np.ndarray, width: int = 64, height: int = 22
+) -> List[str]:
+    """Render a labeled 2-D point set as ASCII art (Figure-5 style).
+
+    Cluster ids map to letters ``a..z``; noise renders as ``.``; empty
+    space as `` ``.  The densest label wins each character cell.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    lo = points.min(axis=0)
+    hi = points.max(axis=0)
+    span = np.maximum(hi - lo, 1e-12)
+    cols = np.clip(((points[:, 0] - lo[0]) / span[0] * (width - 1)).astype(int), 0, width - 1)
+    rows = np.clip(((points[:, 1] - lo[1]) / span[1] * (height - 1)).astype(int), 0, height - 1)
+    # Majority label per cell.
+    cell_votes: dict = {}
+    for c, r, l in zip(cols, rows, labels):
+        cell_votes.setdefault((r, c), []).append(int(l))
+    grid = [[" "] * width for _ in range(height)]
+    for (r, c), votes in cell_votes.items():
+        values, counts = np.unique(votes, return_counts=True)
+        winner = int(values[np.argmax(counts)])
+        grid[r][c] = "." if winner < 0 else chr(ord("a") + winner % 26)
+    # Flip vertically so +y points up.
+    return ["".join(row) for row in reversed(grid)]

@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration.
+
+Makes ``common.py`` importable when pytest is invoked from the repo
+root, and provides the shared solver-runner fixture.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,69 @@
+"""High-dimensional data with low intrinsic dimension + adversarial
+outliers — the paper's core setting (Assumption 1).
+
+Builds a 784-dimensional dataset whose inliers live on a 4-dimensional
+manifold (MNIST stand-in, DESIGN.md §3) with 1% uniform outliers, then
+shows:
+
+1. all three of the paper's algorithms recover the planted clusters and
+   isolate the outliers;
+2. the distance-evaluation counts stay far below the brute-force n²/2,
+   even though the *ambient* dimension is 784 — what matters is the
+   doubling dimension of the inliers (Lemma 1);
+3. outliers only cost extra centers, never correctness.
+
+Run:  python examples/high_dimensional.py
+"""
+
+import numpy as np
+
+from repro import ApproxMetricDBSCAN, MetricDBSCAN, MetricDataset, StreamingApproxDBSCAN
+from repro.datasets import make_low_doubling
+from repro.evaluation import adjusted_rand_index
+
+
+def main() -> None:
+    n = 1200
+    points, truth = make_low_doubling(
+        n=n, ambient_dim=784, intrinsic_dim=4, n_clusters=8,
+        outlier_fraction=0.01, cluster_std=0.6, separation=12.0, seed=0,
+    )
+    eps, min_pts = 3.0, 10
+    brute_force_evals = n * (n - 1) // 2
+
+    print(f"manifold data: n={n}, ambient dim 784, intrinsic dim 4, "
+          f"{int(np.sum(truth == -1))} planted outliers")
+    print(f"brute-force pairwise distances would be {brute_force_evals:,}\n")
+
+    print(f"{'algorithm':<14} {'clusters':>8} {'noise':>6} {'ARI':>7} "
+          f"{'dist evals':>12} {'vs brute':>9}")
+    for name, solver in [
+        ("Our_Exact", MetricDBSCAN(eps, min_pts)),
+        ("Our_Approx", ApproxMetricDBSCAN(eps, min_pts, rho=0.5)),
+        ("Our_Streaming", StreamingApproxDBSCAN(eps, min_pts, rho=0.5)),
+    ]:
+        counted = MetricDataset(points).with_counting()
+        result = solver.fit(counted)
+        evals = counted.metric.count
+        print(
+            f"{name:<14} {result.n_clusters:>8} {result.n_noise:>6} "
+            f"{adjusted_rand_index(truth, result.labels):>7.3f} "
+            f"{evals:>12,} {evals / brute_force_evals:>8.2f}x"
+        )
+
+    print(
+        "\nNote: the streaming variant re-derives distances on every one of "
+        "its three passes — it trades distance work for O(1) memory, so its "
+        "eval count exceeds the batch solvers at this small n."
+    )
+
+    # How well are the planted outliers isolated?
+    exact = MetricDBSCAN(eps, min_pts).fit(MetricDataset(points))
+    planted = truth == -1
+    flagged = exact.labels == -1
+    recall = float(np.sum(planted & flagged)) / max(1, int(np.sum(planted)))
+    print(f"\nplanted-outlier recall of the exact solver: {recall:.2%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Every comparison algorithm from the paper's evaluation (Section 5),
+plus two related-work variants it cites (OPTICS [2], LSH-DBSCAN [70]),
+implemented from scratch:
+
+- DBSCAN family (Figure 3): :class:`OriginalDBSCAN`,
+  :class:`DBSCANPlusPlus`, :class:`DYWDBSCAN`, :class:`GanTaoDBSCAN`
+  (exact and ρ-approximate);
+- non-DBSCAN batch baselines (Table 3): :class:`DPMeans`, :class:`BICO`,
+  :class:`DensityPeak`, :class:`MeanShift`;
+- streaming baselines (Table 4): :class:`DBStream`, :class:`DStream`,
+  :class:`EvoStream` (plus :class:`BICO`'s streaming mode);
+- :func:`kmeans` — the weighted Lloyd substrate used by BICO/evoStream.
+"""
+
+from repro.baselines.bico import BICO
+from repro.baselines.dbscan import OriginalDBSCAN, dbscan
+from repro.baselines.dbscanpp import DBSCANPlusPlus
+from repro.baselines.densitypeak import DensityPeak
+from repro.baselines.dpmeans import DPMeans, lambda_from_kcenter
+from repro.baselines.dyw import DYWDBSCAN
+from repro.baselines.gantao import GanTaoDBSCAN
+from repro.baselines.kmeans import KMeansResult, kmeans, kmeans_pp_init
+from repro.baselines.lshdbscan import LSHDBSCAN
+from repro.baselines.meanshift import MeanShift, estimate_bandwidth
+from repro.baselines.optics import OPTICS, OPTICSOrdering
+from repro.baselines.streaming import DBStream, DStream, EvoStream
+
+__all__ = [
+    "OriginalDBSCAN",
+    "dbscan",
+    "DBSCANPlusPlus",
+    "LSHDBSCAN",
+    "OPTICS",
+    "OPTICSOrdering",
+    "DYWDBSCAN",
+    "GanTaoDBSCAN",
+    "DPMeans",
+    "lambda_from_kcenter",
+    "BICO",
+    "DensityPeak",
+    "MeanShift",
+    "estimate_bandwidth",
+    "kmeans",
+    "kmeans_pp_init",
+    "KMeansResult",
+    "DBStream",
+    "DStream",
+    "EvoStream",
+]

@@ -1,0 +1,199 @@
+"""DYW_DBSCAN — the metric DBSCAN of Ding, Yang & Wang (IJCAI 2021).
+
+The comparison baseline the paper discusses at length in Section 3.3.
+Its pre-processing is a *randomized* k-center-with-outliers algorithm
+(in the style of Ding, Yu & Wang, ESA 2019): in each round it looks at
+the ``(1+η)·z̃`` points currently farthest from the chosen centers and
+adds one of them *uniformly at random*, stopping once at most ``z̃``
+points remain uncovered at radius ``r̄`` (or a round cap is hit — the
+manual termination condition the paper criticizes).  Uncovered points
+become singleton balls.  The ball structure then restricts the
+ε-neighborhood searches of an otherwise classical DBSCAN expansion,
+which is a heuristic speed-up for the labeling step only: the worst-case
+complexity stays ``O(n^2)``.
+
+Two knobs distinguish it from the paper's Algorithm 1, as Section 3.3
+emphasizes: the outlier estimate ``z̃`` must be guessed, and the
+procedure is randomized (it can fail with some probability if ``z̃``
+underestimates the true outlier count).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.result import ClusteringResult
+from repro.metricspace.dataset import MetricDataset
+from repro.utils.rng import SeedLike, check_random_state
+from repro.utils.timer import TimingBreakdown
+from repro.utils.validation import check_epsilon, check_min_pts
+
+
+class DYWDBSCAN:
+    """Randomized k-center-with-outliers based metric DBSCAN.
+
+    Parameters
+    ----------
+    eps, min_pts:
+        The DBSCAN parameters.
+    z_tilde:
+        Estimated upper bound on the number of outliers (the parameter
+        the paper criticizes as hard to set).
+    eta:
+        Oversampling factor for the random farthest-point pick.
+    max_rounds:
+        The manual termination cap on the number of k-center rounds.
+    seed:
+        RNG seed for the randomized center picks.
+    """
+
+    def __init__(
+        self,
+        eps: float,
+        min_pts: int,
+        z_tilde: int = 10,
+        eta: float = 1.0,
+        max_rounds: int = 4096,
+        seed: SeedLike = 0,
+    ) -> None:
+        self.eps = check_epsilon(eps)
+        self.min_pts = check_min_pts(min_pts)
+        if z_tilde < 0:
+            raise ValueError(f"z_tilde must be non-negative, got {z_tilde}")
+        if eta < 0:
+            raise ValueError(f"eta must be non-negative, got {eta}")
+        self.z_tilde = int(z_tilde)
+        self.eta = float(eta)
+        self.max_rounds = int(max_rounds)
+        self.seed = seed
+
+    def fit(self, dataset: MetricDataset) -> ClusteringResult:
+        """Cluster ``dataset``."""
+        timings = TimingBreakdown()
+        n = dataset.n
+        eps = self.eps
+        r_bar = eps / 2.0
+        rng = check_random_state(self.seed)
+
+        with timings.phase("kcenter_outliers"):
+            centers, center_of, center_dists = self._kcenter_with_outliers(
+                dataset, r_bar, rng
+            )
+
+        with timings.phase("neighbor_sets"):
+            threshold = 2.0 * r_bar + eps
+            neighbor: List[np.ndarray] = [
+                np.flatnonzero(center_dists[j] <= threshold)
+                for j in range(len(centers))
+            ]
+            cover: Dict[int, List[int]] = {}
+            for p in range(n):
+                cover.setdefault(int(center_of[p]), []).append(p)
+
+        # Classical DBSCAN expansion with ball-restricted region queries.
+        with timings.phase("cluster"):
+            labels = np.full(n, -1, dtype=np.int64)
+            core_mask = np.zeros(n, dtype=bool)
+            visited = np.zeros(n, dtype=bool)
+            next_cluster = 0
+
+            def region(p: int) -> np.ndarray:
+                j = int(center_of[p])
+                cand = np.concatenate(
+                    [np.asarray(cover.get(int(k), []), dtype=np.int64)
+                     for k in neighbor[j]]
+                )
+                dists = dataset.distances_from(p, cand)
+                return cand[dists <= eps]
+
+            for start in range(n):
+                if visited[start]:
+                    continue
+                visited[start] = True
+                neighbors = region(start)
+                if len(neighbors) < self.min_pts:
+                    continue
+                core_mask[start] = True
+                cluster_id = next_cluster
+                next_cluster += 1
+                labels[start] = cluster_id
+                queue = deque(int(x) for x in neighbors)
+                while queue:
+                    p = queue.popleft()
+                    if labels[p] == -1:
+                        labels[p] = cluster_id
+                    if visited[p]:
+                        continue
+                    visited[p] = True
+                    p_neighbors = region(p)
+                    if len(p_neighbors) >= self.min_pts:
+                        core_mask[p] = True
+                        queue.extend(int(x) for x in p_neighbors)
+
+        return ClusteringResult(
+            labels=labels,
+            core_mask=core_mask,
+            timings=timings,
+            stats={
+                "algorithm": "dyw",
+                "eps": eps,
+                "min_pts": self.min_pts,
+                "z_tilde": self.z_tilde,
+                "n_centers": len(centers),
+            },
+        )
+
+    def _kcenter_with_outliers(
+        self, dataset: MetricDataset, r_bar: float, rng: np.random.Generator
+    ):
+        """Randomized k-center with outliers pre-processing.
+
+        Returns ``(centers, center_of, center_distance_matrix)``; every
+        point is assigned to a center (uncovered leftovers become
+        singleton centers so the downstream search stays correct even
+        when ``z̃`` underestimates the outliers).
+        """
+        n = dataset.n
+        sample_size = max(1, int(round((1.0 + self.eta) * max(self.z_tilde, 1))))
+        first = int(rng.integers(n))
+        centers = [first]
+        dist_to_e = dataset.distances_from(first)
+        center_of = np.zeros(n, dtype=np.int64)
+        rows: Dict[int, np.ndarray] = {}
+
+        rounds = 0
+        while rounds < self.max_rounds:
+            uncovered = np.flatnonzero(dist_to_e > r_bar)
+            if len(uncovered) <= self.z_tilde:
+                break
+            take = min(sample_size, len(uncovered))
+            farthest = uncovered[np.argsort(dist_to_e[uncovered])[-take:]]
+            pick = int(rng.choice(farthest))
+            d_new = dataset.distances_from(pick)
+            rows[len(centers)] = d_new[np.asarray(centers, dtype=np.intp)].copy()
+            pos = len(centers)
+            centers.append(pick)
+            closer = d_new < dist_to_e
+            center_of[closer] = pos
+            np.minimum(dist_to_e, d_new, out=dist_to_e)
+            rounds += 1
+
+        # Remaining uncovered points become their own (singleton) centers.
+        for p in np.flatnonzero(dist_to_e > r_bar):
+            d_new = dataset.distances_from(int(p))
+            rows[len(centers)] = d_new[np.asarray(centers, dtype=np.intp)].copy()
+            pos = len(centers)
+            centers.append(int(p))
+            closer = d_new < dist_to_e
+            center_of[closer] = pos
+            np.minimum(dist_to_e, d_new, out=dist_to_e)
+
+        m = len(centers)
+        center_dists = np.zeros((m, m), dtype=np.float64)
+        for j, row in rows.items():
+            center_dists[j, : len(row)] = row
+            center_dists[: len(row), j] = row
+        return centers, center_of, center_dists

@@ -1,0 +1,138 @@
+"""Weighted Lloyd's k-means with k-means++ seeding.
+
+A substrate, not a paper baseline by itself: BICO clusters its coreset
+with k-means, and evoStream's fitness function is the k-means objective
+over micro-clusters.  Euclidean only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, check_random_state
+
+
+@dataclass
+class KMeansResult:
+    """Output of :func:`kmeans`.
+
+    Attributes
+    ----------
+    centers:
+        ``(k, d)`` final centroids.
+    labels:
+        Assignment of each input row to a centroid.
+    inertia:
+        Weighted sum of squared distances to assigned centroids.
+    n_iter:
+        Lloyd iterations executed.
+    """
+
+    centers: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iter: int
+
+
+def kmeans_pp_init(
+    points: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    weights: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """k-means++ seeding (weighted D² sampling)."""
+    n = points.shape[0]
+    if weights is None:
+        weights = np.ones(n)
+    centers = np.empty((k, points.shape[1]), dtype=np.float64)
+    probs = weights / weights.sum()
+    first = rng.choice(n, p=probs)
+    centers[0] = points[first]
+    closest_sq = np.sum((points - centers[0]) ** 2, axis=1)
+    for j in range(1, k):
+        scores = closest_sq * weights
+        total = scores.sum()
+        if total <= 0:
+            pick = int(rng.integers(n))
+        else:
+            pick = int(rng.choice(n, p=scores / total))
+        centers[j] = points[pick]
+        np.minimum(
+            closest_sq, np.sum((points - centers[j]) ** 2, axis=1), out=closest_sq
+        )
+    return centers
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    weights: Optional[np.ndarray] = None,
+    max_iter: int = 100,
+    tol: float = 1e-6,
+    seed: SeedLike = 0,
+) -> KMeansResult:
+    """Weighted Lloyd's algorithm with k-means++ initialization.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` input rows.
+    k:
+        Number of centroids (capped at ``n``).
+    weights:
+        Optional per-row weights (coreset use case).
+    max_iter, tol:
+        Lloyd iteration cap and center-movement tolerance.
+    seed:
+        RNG seed for the seeding step.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    if n == 0:
+        raise ValueError("kmeans requires at least one point")
+    k = max(1, min(int(k), n))
+    if weights is None:
+        weights = np.ones(n)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+    rng = check_random_state(seed)
+    centers = kmeans_pp_init(points, k, rng, weights)
+
+    labels = np.zeros(n, dtype=np.int64)
+    for iteration in range(1, max_iter + 1):
+        # Assignment step.
+        d2 = (
+            np.sum(points**2, axis=1)[:, None]
+            - 2.0 * points @ centers.T
+            + np.sum(centers**2, axis=1)[None, :]
+        )
+        labels = np.argmin(d2, axis=1)
+        # Update step.
+        new_centers = centers.copy()
+        for j in range(k):
+            mask = labels == j
+            w = weights[mask]
+            if w.sum() > 0:
+                new_centers[j] = np.average(points[mask], axis=0, weights=w)
+            else:
+                # Re-seed an empty centroid at the worst-served point.
+                worst = int(np.argmax(np.min(d2, axis=1) * weights))
+                new_centers[j] = points[worst]
+        shift = float(np.max(np.linalg.norm(new_centers - centers, axis=1)))
+        centers = new_centers
+        if shift <= tol:
+            break
+    d2 = (
+        np.sum(points**2, axis=1)[:, None]
+        - 2.0 * points @ centers.T
+        + np.sum(centers**2, axis=1)[None, :]
+    )
+    labels = np.argmin(d2, axis=1)
+    inertia = float(np.sum(weights * np.maximum(d2[np.arange(n), labels], 0.0)))
+    return KMeansResult(
+        centers=centers, labels=labels.astype(np.int64), inertia=inertia,
+        n_iter=iteration,
+    )

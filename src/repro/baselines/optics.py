@@ -1,0 +1,184 @@
+"""OPTICS (Ankerst, Breunig, Kriegel & Sander, 1999).
+
+The classical density-*ordering* algorithm the paper cites among the
+density-based family ([2] in its references).  OPTICS does not produce
+a single clustering; it produces an ordering of the points together
+with *reachability distances*, from which a DBSCAN-equivalent
+clustering can be extracted for any ``ε' <= ε_max``.  This makes it the
+classical answer to the parameter-tuning problem that the paper solves
+differently (Remark 5's reusable net) — and a natural extra baseline
+for the tuning bench.
+
+Metric-generic; brute-force neighborhoods (``Θ(n²)`` distances).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.result import ClusteringResult
+from repro.metricspace.dataset import MetricDataset
+from repro.utils.timer import TimingBreakdown
+from repro.utils.validation import check_epsilon, check_min_pts
+
+
+@dataclass
+class OPTICSOrdering:
+    """The OPTICS output: an ordering plus per-point distances.
+
+    Attributes
+    ----------
+    order:
+        Point indices in OPTICS processing order.
+    reachability:
+        Reachability distance of each point (``inf`` for the first
+        point of each connected region), indexed by point id.
+    core_distance:
+        Core distance of each point (``inf`` when the point is not a
+        core point at ``eps_max``), indexed by point id.
+    eps_max:
+        The generating radius bound.
+    min_pts:
+        The density threshold used.
+    """
+
+    order: np.ndarray
+    reachability: np.ndarray
+    core_distance: np.ndarray
+    eps_max: float
+    min_pts: int
+
+    def extract_dbscan(self, eps: float) -> np.ndarray:
+        """DBSCAN-equivalent labels at ``eps <= eps_max``.
+
+        Walks the ordering: a reachability above ``eps`` either starts a
+        new cluster (when the point is itself core at ``eps``) or marks
+        noise — the extraction rule from the original OPTICS paper.
+        """
+        eps = check_epsilon(eps)
+        if eps > self.eps_max + 1e-12:
+            raise ValueError(
+                f"extraction eps {eps} exceeds the ordering's eps_max "
+                f"{self.eps_max}"
+            )
+        labels = np.full(self.order.shape[0], -1, dtype=np.int64)
+        cluster = -1
+        for p in self.order:
+            if self.reachability[p] > eps:
+                if self.core_distance[p] <= eps:
+                    cluster += 1
+                    labels[p] = cluster
+                # else: noise (stays -1)
+            else:
+                labels[p] = cluster
+        return labels
+
+
+class OPTICS:
+    """OPTICS ordering with DBSCAN-style extraction.
+
+    Parameters
+    ----------
+    min_pts:
+        Density threshold (a point counts itself).
+    eps_max:
+        Neighborhood radius bound; ``None`` means unbounded (full
+        ordering, the common choice).
+    """
+
+    def __init__(self, min_pts: int, eps_max: Optional[float] = None) -> None:
+        self.min_pts = check_min_pts(min_pts)
+        if eps_max is not None:
+            eps_max = check_epsilon(eps_max)
+        self.eps_max = eps_max
+
+    def compute_ordering(self, dataset: MetricDataset) -> OPTICSOrdering:
+        """Run OPTICS and return the full ordering structure."""
+        n = dataset.n
+        eps_max = float("inf") if self.eps_max is None else self.eps_max
+        min_pts = self.min_pts
+
+        reach = np.full(n, np.inf)
+        core_dist = np.full(n, np.inf)
+        processed = np.zeros(n, dtype=bool)
+        order: List[int] = []
+
+        def setup(p: int) -> np.ndarray:
+            """Distances from p; fills core_dist[p]."""
+            dists = dataset.distances_from(p)
+            within = np.sort(dists[dists <= eps_max])
+            if within.shape[0] >= min_pts:
+                core_dist[p] = float(within[min_pts - 1])
+            return dists
+
+        for start in range(n):
+            if processed[start]:
+                continue
+            dists = setup(start)
+            processed[start] = True
+            order.append(start)
+            if not np.isfinite(core_dist[start]):
+                continue
+            # Seed list as a lazy-deletion heap of (reachability, point).
+            seeds: List[tuple] = []
+            self._update(seeds, start, dists, reach, core_dist, processed, eps_max)
+            while seeds:
+                r, p = heapq.heappop(seeds)
+                if processed[p] or r > reach[p]:
+                    continue  # stale entry
+                p_dists = setup(p)
+                processed[p] = True
+                order.append(p)
+                if np.isfinite(core_dist[p]):
+                    self._update(
+                        seeds, p, p_dists, reach, core_dist, processed, eps_max
+                    )
+        return OPTICSOrdering(
+            order=np.asarray(order, dtype=np.int64),
+            reachability=reach,
+            core_distance=core_dist,
+            eps_max=eps_max,
+            min_pts=min_pts,
+        )
+
+    @staticmethod
+    def _update(seeds, center, dists, reach, core_dist, processed, eps_max):
+        new_reach = np.maximum(core_dist[center], dists)
+        candidates = np.flatnonzero((dists <= eps_max) & ~processed)
+        for q in candidates:
+            if new_reach[q] < reach[q]:
+                reach[q] = float(new_reach[q])
+                heapq.heappush(seeds, (reach[q], int(q)))
+
+    def fit(self, dataset: MetricDataset, eps: Optional[float] = None) -> ClusteringResult:
+        """Ordering + DBSCAN extraction at ``eps`` (default ``eps_max``).
+
+        The :class:`OPTICSOrdering` itself is returned in
+        ``stats["ordering"]`` so callers can re-extract at other radii
+        for free.
+        """
+        timings = TimingBreakdown()
+        with timings.phase("ordering"):
+            ordering = self.compute_ordering(dataset)
+        if eps is None:
+            if self.eps_max is None:
+                raise ValueError("provide eps for extraction when eps_max is None")
+            eps = self.eps_max
+        with timings.phase("extract"):
+            labels = ordering.extract_dbscan(eps)
+        return ClusteringResult(
+            labels=labels,
+            core_mask=ordering.core_distance <= eps,
+            timings=timings,
+            stats={
+                "algorithm": "optics",
+                "min_pts": self.min_pts,
+                "eps_max": ordering.eps_max,
+                "extracted_eps": float(eps),
+                "ordering": ordering,
+            },
+        )

@@ -1,0 +1,10 @@
+"""Streaming clustering baselines for the Table-4 comparison:
+DBStream, D-Stream, and evoStream (BICO lives one level up since the
+paper also uses it in the batch comparison of Table 3).
+"""
+
+from repro.baselines.streaming.dbstream import DBStream
+from repro.baselines.streaming.dstream import DStream
+from repro.baselines.streaming.evostream import EvoStream
+
+__all__ = ["DBStream", "DStream", "EvoStream"]

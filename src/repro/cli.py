@@ -1,0 +1,115 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    List the registered paper-dataset stand-ins.
+``cluster``
+    Generate a registered dataset and cluster it with one of the
+    paper's algorithms (or the brute-force reference), printing quality
+    and run statistics.
+
+Examples
+--------
+::
+
+    python -m repro datasets
+    python -m repro cluster --dataset moons --algo exact --eps 0.12
+    python -m repro cluster --dataset ag_news --algo approx --eps 9 --rho 0.5
+    python -m repro cluster --dataset glove25 --algo streaming --eps 3 --size 2000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baselines import OriginalDBSCAN
+from repro.core import ApproxMetricDBSCAN, MetricDBSCAN, StreamingApproxDBSCAN
+from repro.datasets import REGISTRY, load_dataset
+from repro.evaluation import adjusted_mutual_information, adjusted_rand_index
+
+ALGORITHMS = ("exact", "approx", "streaming", "dbscan")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Metric DBSCAN (SIGMOD 2024) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list registered dataset stand-ins")
+
+    cluster = sub.add_parser("cluster", help="cluster a registered dataset")
+    cluster.add_argument("--dataset", required=True, choices=sorted(REGISTRY))
+    cluster.add_argument("--algo", default="exact", choices=ALGORITHMS)
+    cluster.add_argument("--eps", type=float, default=None,
+                         help="DBSCAN radius (default: midpoint of the "
+                              "dataset's suggested range)")
+    cluster.add_argument("--min-pts", type=int, default=10)
+    cluster.add_argument("--rho", type=float, default=0.5,
+                         help="approximation parameter for approx/streaming")
+    cluster.add_argument("--size", type=int, default=None,
+                         help="stand-in size (default: registry default)")
+    cluster.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def cmd_datasets() -> int:
+    width = max(len(name) for name in REGISTRY)
+    print(f"{'name':<{width}}  {'category':<9} {'paper n':>12}  note")
+    for name, spec in REGISTRY.items():
+        print(f"{name:<{width}}  {spec.category:<9} {spec.paper_n:>12,}  "
+              f"{spec.note or '-'}")
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    loaded = load_dataset(args.dataset, size=args.size, seed=args.seed)
+    eps = args.eps
+    if eps is None:
+        lo, hi = loaded.eps_range
+        eps = (lo + hi) / 2.0
+        print(f"(using eps={eps:g} from the dataset's suggested range)")
+    solvers = {
+        "exact": lambda: MetricDBSCAN(eps, args.min_pts),
+        "approx": lambda: ApproxMetricDBSCAN(eps, args.min_pts, rho=args.rho),
+        "streaming": lambda: StreamingApproxDBSCAN(
+            eps, args.min_pts, rho=args.rho, metric=loaded.dataset.metric
+        ),
+        "dbscan": lambda: OriginalDBSCAN(eps, args.min_pts),
+    }
+    result = solvers[args.algo]().fit(loaded.dataset)
+    print(f"dataset   : {args.dataset} (n={loaded.dataset.n}, "
+          f"category={loaded.category})")
+    print(f"algorithm : {args.algo} (eps={eps:g}, MinPts={args.min_pts}"
+          + (f", rho={args.rho:g}" if args.algo in ("approx", "streaming") else "")
+          + ")")
+    print(f"result    : {result.summary()}")
+    print(f"ARI       : {adjusted_rand_index(loaded.labels, result.labels):.3f}")
+    print(f"AMI       : {adjusted_mutual_information(loaded.labels, result.labels):.3f}")
+    if result.timings.phases:
+        print("phases    :")
+        for phase, seconds in result.timings.phases.items():
+            print(f"  {phase:<18} {seconds:8.3f}s "
+                  f"({result.timings.fraction(phase):5.1%})")
+    interesting = ("n_centers", "summary_size", "memory_points", "memory_ratio")
+    extras = {k: v for k, v in result.stats.items() if k in interesting}
+    if extras:
+        print(f"stats     : {extras}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return cmd_datasets()
+    if args.command == "cluster":
+        return cmd_cluster(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

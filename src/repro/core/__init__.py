@@ -1,0 +1,28 @@
+"""The paper's algorithms: radius-guided Gonzalez, exact metric DBSCAN,
+ρ-approximate DBSCAN via core-point summary, and the streaming variant.
+"""
+
+from repro.core.approx import ApproxMetricDBSCAN, approx_metric_dbscan
+from repro.core.covertree_net import net_from_cover_tree
+from repro.core.exact import MetricDBSCAN, metric_dbscan
+from repro.core.gonzalez import GonzalezNet, radius_guided_gonzalez
+from repro.core.result import ClusteringResult, PointType
+from repro.core.streaming import StreamingApproxDBSCAN
+from repro.core.summary import CoreSummary, build_summary
+from repro.core.windowed import WindowedApproxDBSCAN
+
+__all__ = [
+    "radius_guided_gonzalez",
+    "GonzalezNet",
+    "net_from_cover_tree",
+    "MetricDBSCAN",
+    "metric_dbscan",
+    "ApproxMetricDBSCAN",
+    "approx_metric_dbscan",
+    "StreamingApproxDBSCAN",
+    "WindowedApproxDBSCAN",
+    "CoreSummary",
+    "build_summary",
+    "ClusteringResult",
+    "PointType",
+]

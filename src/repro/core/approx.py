@@ -1,0 +1,236 @@
+"""Algorithm 2: ρ-approximate metric DBSCAN via core-point summary.
+
+The solver mirrors the paper's pseudo-code:
+
+1. run Algorithm 1 with ``r̄ = ρε/2`` (harvesting the per-center ε-ball
+   counts, Lemma 10);
+2. build the summary ``S*`` (:mod:`repro.core.summary`);
+3. merge inside ``S*``: summary points within ``(1+ρ)ε`` share a cluster
+   id, with the candidate search restricted to the enlarged neighbor
+   sets of Eq. (13);
+4. label everything else: a point whose center is in ``S*`` inherits
+   that center's id (line 11-12); otherwise the nearest summary point
+   within ``(1 + ρ/2)ε`` decides (line 14-15); otherwise the point is an
+   outlier.
+
+The output is a valid ρ-approximate DBSCAN solution (Theorem 2) and the
+whole run costs ``O(n ((Δ/ρε)^D + z) t_dis)`` (Theorem 3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.gonzalez import GonzalezNet, radius_guided_gonzalez
+from repro.core.result import ClusteringResult
+from repro.core.summary import CoreSummary, build_summary
+from repro.metricspace.dataset import MetricDataset
+from repro.utils.timer import TimingBreakdown
+from repro.utils.unionfind import UnionFind
+from repro.utils.validation import check_epsilon, check_min_pts, check_rho
+
+
+class ApproxMetricDBSCAN:
+    """ρ-approximate metric DBSCAN (Algorithm 2).
+
+    Parameters
+    ----------
+    eps, min_pts:
+        The DBSCAN parameters.
+    rho:
+        Approximation parameter; the paper's analysis assumes
+        ``ρ <= 2`` (Theorem 3) and the experiments use ``ρ = 0.5``.
+    r_bar:
+        Net radius for preprocessing, default ``ρε/2``; any smaller
+        value also works (Remark 6).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.metricspace import MetricDataset
+    >>> pts = np.array([[0.0], [0.1], [0.2], [5.0], [5.1], [5.2], [99.0]])
+    >>> result = ApproxMetricDBSCAN(0.5, 3, rho=0.5).fit(MetricDataset(pts))
+    >>> result.n_clusters, result.n_noise
+    (2, 1)
+    """
+
+    def __init__(
+        self,
+        eps: float,
+        min_pts: int,
+        rho: float = 0.5,
+        r_bar: Optional[float] = None,
+    ) -> None:
+        self.eps = check_epsilon(eps)
+        self.min_pts = check_min_pts(min_pts)
+        self.rho = check_rho(rho)
+        default_r_bar = self.rho * self.eps / 2.0
+        if r_bar is None:
+            r_bar = default_r_bar
+        if r_bar <= 0 or r_bar > default_r_bar * (1.0 + 1e-12):
+            raise ValueError(
+                f"r_bar must be in (0, rho*eps/2]; got {r_bar} with "
+                f"rho*eps/2={default_r_bar}"
+            )
+        self.r_bar = float(r_bar)
+
+    @staticmethod
+    def precompute(
+        dataset: MetricDataset,
+        r_bar: float,
+        eps_for_counts: Optional[float] = None,
+        first_index: int = 0,
+    ) -> GonzalezNet:
+        """Run the Algorithm-1 preprocessing once for later reuse
+        (Remark 6); pass ``eps_for_counts`` to harvest ball counts."""
+        return radius_guided_gonzalez(
+            dataset, r_bar, eps_for_counts=eps_for_counts, first_index=first_index
+        )
+
+    def fit(
+        self, dataset: MetricDataset, net: Optional[GonzalezNet] = None
+    ) -> ClusteringResult:
+        """Cluster ``dataset``; returns a ρ-approximate DBSCAN labeling."""
+        timings = TimingBreakdown()
+        eps, rho = self.eps, self.rho
+        n = dataset.n
+
+        if net is None:
+            with timings.phase("gonzalez"):
+                net = radius_guided_gonzalez(
+                    dataset, self.r_bar, eps_for_counts=eps
+                )
+        else:
+            if net.r_bar > rho * eps / 2.0 + 1e-12:
+                raise ValueError(
+                    f"precomputed net has r_bar={net.r_bar} > rho*eps/2="
+                    f"{rho * eps / 2.0}; rebuild with a smaller r_bar"
+                )
+            if net.dataset.n != n:
+                raise ValueError("precomputed net was built on a different dataset")
+            timings.phases.setdefault("gonzalez", 0.0)
+
+        # Enlarged neighbor threshold (Eq. (13) generalized to any
+        # r̄ <= ρε/2): captures every summary pair within (1+ρ)ε and
+        # every point-to-summary pair within (1+ρ/2)ε.
+        with timings.phase("neighbor_sets"):
+            neighbors = net.neighbor_centers(2.0 * net.r_bar + (1.0 + rho) * eps)
+
+        with timings.phase("build_summary"):
+            summary = build_summary(dataset, net, eps, self.min_pts, neighbors)
+
+        with timings.phase("merge_summary"):
+            member_cluster = self._merge_summary(dataset, net, summary, neighbors)
+
+        with timings.phase("label_points"):
+            labels = self._label_points(
+                dataset, net, summary, neighbors, member_cluster
+            )
+
+        return ClusteringResult(
+            labels=labels,
+            core_mask=summary.known_core_mask,
+            timings=timings,
+            stats={
+                "algorithm": "our_approx",
+                "eps": eps,
+                "min_pts": self.min_pts,
+                "rho": rho,
+                "r_bar": net.r_bar,
+                "n_centers": net.n_centers,
+                "summary_size": summary.size,
+                "core_mask_partial": True,
+            },
+        )
+
+    # ------------------------------------------------------------------
+
+    def _merge_summary(
+        self,
+        dataset: MetricDataset,
+        net: GonzalezNet,
+        summary: CoreSummary,
+        neighbors: List[np.ndarray],
+    ) -> np.ndarray:
+        """Line 9 of Algorithm 2: connect summary points within
+        ``(1+ρ)ε``; returns the dense cluster id of each summary point."""
+        threshold = (1.0 + self.rho) * self.eps
+        uf = UnionFind(summary.size)
+        members = summary.members
+        for si in range(summary.size):
+            point = int(members[si])
+            j = int(net.center_of[point])
+            cand_positions = [
+                t
+                for k in neighbors[j]
+                for t in summary.members_by_center[int(k)]
+                if t > si
+            ]
+            if not cand_positions:
+                continue
+            cand_points = members[np.asarray(cand_positions, dtype=np.intp)]
+            dists = dataset.distances_from(point, cand_points)
+            for t, d in zip(cand_positions, dists):
+                if d <= threshold:
+                    uf.union(si, t)
+        labels_map = uf.component_labels(range(summary.size))
+        return np.array(
+            [labels_map[si] for si in range(summary.size)], dtype=np.int64
+        )
+
+    def _label_points(
+        self,
+        dataset: MetricDataset,
+        net: GonzalezNet,
+        summary: CoreSummary,
+        neighbors: List[np.ndarray],
+        member_cluster: np.ndarray,
+    ) -> np.ndarray:
+        """Lines 10-20 of Algorithm 2."""
+        n = dataset.n
+        fallback_radius = (self.rho / 2.0 + 1.0) * self.eps
+        labels = np.full(n, -1, dtype=np.int64)
+        members = summary.members
+        # Summary points first: their own cluster ids.
+        labels[members] = member_cluster
+
+        in_summary = summary.member_position >= 0
+        center_position_of_point = net.center_of
+        # Cluster id of each *center that is in S**, for the line-11 path.
+        center_member_pos = np.full(net.n_centers, -1, dtype=np.int64)
+        for j in range(net.n_centers):
+            if summary.center_is_core[j]:
+                center_member_pos[j] = summary.member_position[net.centers[j]]
+
+        for p in range(n):
+            if in_summary[p]:
+                continue
+            j = int(center_position_of_point[p])
+            if center_member_pos[j] >= 0:
+                labels[p] = member_cluster[center_member_pos[j]]
+                continue
+            cand_positions = [
+                t for k in neighbors[j] for t in summary.members_by_center[int(k)]
+            ]
+            if not cand_positions:
+                continue
+            cand_points = members[np.asarray(cand_positions, dtype=np.intp)]
+            dists = dataset.distances_from(p, cand_points)
+            pos = int(np.argmin(dists))
+            if float(dists[pos]) <= fallback_radius:
+                labels[p] = member_cluster[cand_positions[pos]]
+        return labels
+
+
+def approx_metric_dbscan(
+    dataset: MetricDataset,
+    eps: float,
+    min_pts: int,
+    rho: float = 0.5,
+    net: Optional[GonzalezNet] = None,
+    **kwargs,
+) -> ClusteringResult:
+    """Convenience wrapper for :class:`ApproxMetricDBSCAN`."""
+    return ApproxMetricDBSCAN(eps, min_pts, rho=rho, **kwargs).fit(dataset, net=net)

@@ -1,0 +1,354 @@
+"""The paper's exact metric DBSCAN algorithm (Section 3).
+
+The algorithm runs in three steps on top of the radius-guided Gonzalez
+preprocessing (Algorithm 1 with ``r̄ = ε/2``):
+
+1. **Label core points** (Lemma 4, ``O(n z t_dis)``): centers are split
+   into *dense* spheres ``E1`` (``|C_e| >= MinPts`` — every point inside
+   is immediately core, because the cover-set diameter is ``<= 2r̄ <= ε``)
+   and *sparse* spheres ``E2``, whose few points are checked against the
+   candidate set ``∪_{e' ∈ A_e} C_{e'}`` justified by Lemma 2.
+2. **Merge core points** (Lemma 5): core points sharing a cover set are
+   directly ε-reachable; across neighboring cover sets the bichromatic
+   closest pair (BCP) decides connectivity, answered with a cover tree
+   per core set and early-exit nearest-neighbor queries.
+3. **Label border points and outliers** (Lemma 6): each non-core point
+   searches the core points of its neighboring cover sets; within ε it
+   becomes a border point of the nearest core's cluster, otherwise noise.
+
+The Gonzalez preprocessing can be computed once with ``r̄ = ε0/2`` for a
+lower bound ``ε0`` and reused across parameter tuning (Remark 5):
+pass a precomputed net via :meth:`MetricDBSCAN.fit`'s ``net=`` argument.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.gonzalez import GonzalezNet, radius_guided_gonzalez
+from repro.core.result import ClusteringResult
+from repro.covertree.tree import CoverTree
+from repro.metricspace.dataset import MetricDataset
+from repro.utils.timer import TimingBreakdown
+from repro.utils.unionfind import UnionFind
+from repro.utils.validation import check_epsilon, check_min_pts
+
+
+class MetricDBSCAN:
+    """Exact metric DBSCAN via the radius-guided Gonzalez net.
+
+    Parameters
+    ----------
+    eps:
+        The DBSCAN radius ε.
+    min_pts:
+        The density threshold MinPts; a point counts itself, matching
+        the paper's ``|B(p, ε) ∩ X| >= MinPts``.
+    r_bar:
+        Net radius for the preprocessing; any value ``<= ε/2`` is valid
+        (Remark 5).  Defaults to ``ε/2``.
+    use_cover_tree:
+        Use cover trees for the Step-(2) BCP queries (the paper's
+        method).  Setting ``False`` switches to brute-force BCP — kept
+        for the ablation bench.
+    dense_shortcut:
+        Enable the dense-sphere fast path of Step (1).  Setting
+        ``False`` forces the neighborhood count for every point — kept
+        for the ablation bench.
+    collect_border_memberships:
+        Definition 1's footnote allows a border point to belong to
+        *several* clusters.  The ``labels`` array always uses the
+        nearest core's cluster; with this flag the result additionally
+        carries ``stats["border_memberships"]``, a dict mapping each
+        border point to the sorted list of every cluster owning a core
+        point within ε of it.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.metricspace import MetricDataset
+    >>> pts = np.array([[0.0], [0.1], [0.2], [5.0], [5.1], [5.2], [99.0]])
+    >>> result = MetricDBSCAN(eps=0.5, min_pts=3).fit(MetricDataset(pts))
+    >>> result.n_clusters, result.n_noise
+    (2, 1)
+    """
+
+    def __init__(
+        self,
+        eps: float,
+        min_pts: int,
+        r_bar: Optional[float] = None,
+        use_cover_tree: bool = True,
+        dense_shortcut: bool = True,
+        collect_border_memberships: bool = False,
+    ) -> None:
+        self.eps = check_epsilon(eps)
+        self.min_pts = check_min_pts(min_pts)
+        if r_bar is None:
+            r_bar = self.eps / 2.0
+        if r_bar <= 0 or r_bar > self.eps / 2.0 + 1e-12:
+            raise ValueError(
+                f"r_bar must be in (0, eps/2]; got r_bar={r_bar} for eps={self.eps}"
+            )
+        self.r_bar = float(r_bar)
+        self.use_cover_tree = bool(use_cover_tree)
+        self.dense_shortcut = bool(dense_shortcut)
+        self.collect_border_memberships = bool(collect_border_memberships)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def precompute(
+        dataset: MetricDataset, r_bar: float, first_index: int = 0
+    ) -> GonzalezNet:
+        """Run the Algorithm-1 preprocessing once for later reuse.
+
+        For parameter tuning, choose ``r_bar = ε0/2`` where ``ε0`` lower
+        bounds every ε you intend to try (Remark 5).
+        """
+        return radius_guided_gonzalez(dataset, r_bar, first_index=first_index)
+
+    def fit(
+        self, dataset: MetricDataset, net: Optional[GonzalezNet] = None
+    ) -> ClusteringResult:
+        """Cluster ``dataset`` and return the exact DBSCAN labeling.
+
+        Parameters
+        ----------
+        dataset:
+            The input metric space.
+        net:
+            Optional precomputed Gonzalez net (must satisfy
+            ``net.r_bar <= eps/2`` and be built on the same dataset).
+        """
+        timings = TimingBreakdown()
+        eps = self.eps
+        n = dataset.n
+
+        if net is None:
+            with timings.phase("gonzalez"):
+                net = radius_guided_gonzalez(dataset, self.r_bar)
+        else:
+            if net.r_bar > eps / 2.0 + 1e-12:
+                raise ValueError(
+                    f"precomputed net has r_bar={net.r_bar} > eps/2={eps / 2.0}; "
+                    "rebuild with a smaller r_bar (Remark 5 requires r_bar <= eps/2)"
+                )
+            if net.dataset.n != n:
+                raise ValueError("precomputed net was built on a different dataset")
+            timings.phases.setdefault("gonzalez", 0.0)
+
+        with timings.phase("neighbor_sets"):
+            neighbors = net.neighbor_centers(2.0 * net.r_bar + eps)
+            cover = net.cover_sets()
+
+        with timings.phase("label_cores"):
+            core_mask = self._label_cores(dataset, net, neighbors, cover)
+
+        with timings.phase("merge"):
+            center_cluster, core_by_center = self._merge_cores(
+                dataset, net, neighbors, cover, core_mask
+            )
+
+        with timings.phase("label_borders"):
+            labels, border_memberships = self._label_all(
+                dataset, net, neighbors, core_mask, core_by_center, center_cluster
+            )
+
+        stats = {
+            "algorithm": "our_exact",
+            "eps": eps,
+            "min_pts": self.min_pts,
+            "r_bar": net.r_bar,
+            "n_centers": net.n_centers,
+            "n_core": int(np.count_nonzero(core_mask)),
+        }
+        if border_memberships is not None:
+            stats["border_memberships"] = border_memberships
+        return ClusteringResult(
+            labels=labels,
+            core_mask=core_mask,
+            timings=timings,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Step (1)
+
+    def _label_cores(
+        self,
+        dataset: MetricDataset,
+        net: GonzalezNet,
+        neighbors: List[np.ndarray],
+        cover: List[np.ndarray],
+    ) -> np.ndarray:
+        """Label core points with the dense/sparse sphere split."""
+        n = dataset.n
+        eps = self.eps
+        core_mask = np.zeros(n, dtype=bool)
+        sizes = np.array([len(c) for c in cover], dtype=np.int64)
+        if self.dense_shortcut:
+            dense = sizes >= self.min_pts
+        else:
+            dense = np.zeros(net.n_centers, dtype=bool)
+        for j in np.flatnonzero(dense):
+            core_mask[cover[j]] = True
+        for j in np.flatnonzero(~dense):
+            members = cover[j]
+            if len(members) == 0:
+                continue
+            candidates = np.concatenate([cover[k] for k in neighbors[j]])
+            for p in members:
+                dists = dataset.distances_from(int(p), candidates)
+                if int(np.count_nonzero(dists <= eps)) >= self.min_pts:
+                    core_mask[p] = True
+        return core_mask
+
+    # ------------------------------------------------------------------
+    # Step (2)
+
+    def _merge_cores(
+        self,
+        dataset: MetricDataset,
+        net: GonzalezNet,
+        neighbors: List[np.ndarray],
+        cover: List[np.ndarray],
+        core_mask: np.ndarray,
+    ) -> tuple:
+        """Merge core points into clusters; returns per-center cluster ids.
+
+        Returns
+        -------
+        (center_cluster, core_by_center):
+            ``center_cluster[j]`` is the dense cluster id of center
+            position ``j`` (``-1`` when the center has no core points);
+            ``core_by_center[j]`` is the array of core point indices in
+            ``C_{e_j}`` (the paper's ``C̃_e``).
+        """
+        m = net.n_centers
+        eps = self.eps
+        core_by_center: List[np.ndarray] = [
+            members[core_mask[members]] for members in cover
+        ]
+        occupied = [j for j in range(m) if len(core_by_center[j]) > 0]
+        uf = UnionFind(m)
+        trees: Dict[int, CoverTree] = {}
+
+        def tree_for(j: int) -> CoverTree:
+            if j not in trees:
+                trees[j] = CoverTree(dataset, indices=core_by_center[j])
+            return trees[j]
+
+        for j in occupied:
+            for k in neighbors[j]:
+                k = int(k)
+                if k <= j or len(core_by_center[k]) == 0:
+                    continue
+                if uf.connected(j, k):
+                    continue
+                if self._bcp_within(dataset, tree_for, j, k, core_by_center, eps):
+                    uf.union(j, k)
+
+        center_cluster = np.full(m, -1, dtype=np.int64)
+        labels_map = uf.component_labels(occupied)
+        for j in occupied:
+            center_cluster[j] = labels_map[j]
+        return center_cluster, core_by_center
+
+    def _bcp_within(
+        self,
+        dataset: MetricDataset,
+        tree_for,
+        j: int,
+        k: int,
+        core_by_center: List[np.ndarray],
+        eps: float,
+    ) -> bool:
+        """Whether the bichromatic closest pair of ``C̃_j`` and ``C̃_k``
+        is within ``eps``."""
+        a, b = core_by_center[j], core_by_center[k]
+        if self.use_cover_tree:
+            # Build the tree on the larger side, query with the smaller.
+            if len(a) >= len(b):
+                tree, queries = tree_for(j), b
+            else:
+                tree, queries = tree_for(k), a
+            for q in queries:
+                _, dist = tree.nearest(dataset.point(int(q)), early_stop=eps)
+                if dist <= eps:
+                    return True
+            return False
+        # Brute-force BCP (ablation path).
+        for q in a:
+            dists = dataset.distances_from(int(q), b)
+            if float(dists.min()) <= eps:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Step (3)
+
+    def _label_all(
+        self,
+        dataset: MetricDataset,
+        net: GonzalezNet,
+        neighbors: List[np.ndarray],
+        core_mask: np.ndarray,
+        core_by_center: List[np.ndarray],
+        center_cluster: np.ndarray,
+    ):
+        """Assign final labels: core via their center's cluster, border
+        via the nearest core within ε, the rest noise.
+
+        Returns ``(labels, border_memberships)`` where the second item
+        is ``None`` unless ``collect_border_memberships`` is set, in
+        which case it maps each border point to the sorted cluster ids
+        of every cluster with a core point within ε (Definition 1's
+        footnote).
+        """
+        n = dataset.n
+        eps = self.eps
+        memberships = {} if self.collect_border_memberships else None
+        labels = np.full(n, -1, dtype=np.int64)
+        # Core points inherit their own center's cluster id.
+        core_indices = np.flatnonzero(core_mask)
+        labels[core_indices] = center_cluster[net.center_of[core_indices]]
+
+        # Border candidates: non-core points, grouped by their center so
+        # the neighboring core set is assembled once per sphere.
+        noncore = np.flatnonzero(~core_mask)
+        by_center: Dict[int, List[int]] = {}
+        for p in noncore:
+            by_center.setdefault(int(net.center_of[p]), []).append(int(p))
+        for j, members in by_center.items():
+            cand_lists = [core_by_center[k] for k in neighbors[j]]
+            cand_lists = [c for c in cand_lists if len(c) > 0]
+            if not cand_lists:
+                continue
+            candidates = np.concatenate(cand_lists)
+            for p in members:
+                dists = dataset.distances_from(p, candidates)
+                pos = int(np.argmin(dists))
+                if float(dists[pos]) <= eps:
+                    labels[p] = center_cluster[net.center_of[candidates[pos]]]
+                    if memberships is not None:
+                        within = candidates[dists <= eps]
+                        clusters = {
+                            int(center_cluster[net.center_of[int(q)]])
+                            for q in within
+                        }
+                        memberships[int(p)] = sorted(clusters)
+        return labels, memberships
+
+
+def metric_dbscan(
+    dataset: MetricDataset,
+    eps: float,
+    min_pts: int,
+    net: Optional[GonzalezNet] = None,
+    **kwargs,
+) -> ClusteringResult:
+    """Convenience wrapper: ``MetricDBSCAN(eps, min_pts, **kwargs).fit(...)``."""
+    return MetricDBSCAN(eps, min_pts, **kwargs).fit(dataset, net=net)

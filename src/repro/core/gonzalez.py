@@ -1,0 +1,234 @@
+"""Algorithm 1: Radius-guided Gonzalez's algorithm (Section 2).
+
+The classical Gonzalez k-center algorithm repeatedly picks the point
+farthest from the chosen centers.  The radius-guided variant replaces the
+center count ``k`` with an upper bound ``r̄`` on the covering radius: it
+keeps adding farthest points until every point is within ``r̄`` of some
+center.  The output center set ``E`` is therefore an ``r̄``-net of the
+data — an ``r̄``-packing (centers pairwise ``> r̄`` apart) that covers
+every point within ``r̄``.
+
+Under the paper's Assumption 1 (inliers with constant doubling dimension
+``D``), the number of iterations is ``O((Δ/r̄)^D) + z`` (Lemma 1) and each
+iteration costs ``O(n)`` distance evaluations.
+
+Two cheap by-products of the run are harvested because the DBSCAN
+solvers need them:
+
+- the **center-center distance matrix**: whenever a new center is added
+  we compute its distance to *every* point, which includes all previous
+  centers — so the matrix costs nothing extra.  It yields the neighbor
+  ball-center sets ``A_p`` (Eq. (1) / Eq. (13)) for any threshold, which
+  is what makes parameter re-tuning free (Remark 5);
+- optional **ε-ball counts** ``|B(e, ε) ∩ X|`` per center, available for
+  the same reason; Algorithm 2 uses them to classify centers as core
+  points without extra work (Lemma 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.metricspace.dataset import MetricDataset
+from repro.utils.validation import check_epsilon
+
+
+@dataclass
+class GonzalezNet:
+    """The output of Algorithm 1 plus harvested by-products.
+
+    Attributes
+    ----------
+    dataset:
+        The metric space the net was built on.
+    r_bar:
+        The covering-radius upper bound ``r̄`` used for the run.
+    centers:
+        Point indices of the centers ``E`` in insertion order.
+    center_of:
+        For each point ``p``, the *position* (into ``centers``) of its
+        closest center ``c_p``.  Ties keep the earliest-inserted center.
+    dist_to_center:
+        ``dis(p, c_p)`` for each point; all entries are ``<= r̄``.
+    center_distances:
+        Symmetric ``(|E|, |E|)`` matrix of center-center distances,
+        harvested for free during the run.
+    ball_counts_eps:
+        The ε used for the harvested ball counts, if any.
+    ball_counts:
+        ``|B(e, ε) ∩ X|`` for each center (only if requested).
+    iterations:
+        Number of centers added == number of loop iterations + 1.
+    """
+
+    dataset: MetricDataset
+    r_bar: float
+    centers: List[int]
+    center_of: np.ndarray
+    dist_to_center: np.ndarray
+    center_distances: np.ndarray
+    ball_counts_eps: Optional[float] = None
+    ball_counts: Optional[np.ndarray] = None
+    _cover_sets: Optional[List[np.ndarray]] = field(default=None, repr=False)
+
+    @property
+    def n_centers(self) -> int:
+        """``|E|``."""
+        return len(self.centers)
+
+    @property
+    def iterations(self) -> int:
+        """Iterations executed by Algorithm 1 (== ``|E|``)."""
+        return len(self.centers)
+
+    def cover_sets(self) -> List[np.ndarray]:
+        """The cover sets ``C_e``: point indices assigned to each center.
+
+        Computed lazily from ``center_of`` and cached.  Every point
+        belongs to exactly one cover set, and ``C_e ⊆ B(e, r̄)``.
+        """
+        if self._cover_sets is None:
+            order = np.argsort(self.center_of, kind="stable")
+            sorted_assign = self.center_of[order]
+            boundaries = np.searchsorted(
+                sorted_assign, np.arange(self.n_centers + 1)
+            )
+            self._cover_sets = [
+                order[boundaries[j] : boundaries[j + 1]]
+                for j in range(self.n_centers)
+            ]
+        return self._cover_sets
+
+    def neighbor_centers(self, threshold: float) -> List[np.ndarray]:
+        """Neighbor ball-center sets at a distance ``threshold``.
+
+        For each center position ``j``, returns the positions of centers
+        ``e`` with ``dis(e, e_j) <= threshold`` (including ``j`` itself).
+        With ``threshold = 2r̄ + ε`` this is the paper's ``A_p`` of
+        Eq. (1) for every ``p`` with ``c_p = e_j``; Algorithm 2 uses the
+        enlarged ``threshold = 4r̄ + ε`` of Eq. (13).
+        """
+        if threshold < 0:
+            raise ValueError(f"threshold must be non-negative, got {threshold}")
+        within = self.center_distances <= threshold
+        return [np.flatnonzero(within[j]) for j in range(self.n_centers)]
+
+    def ball_count_for(self, eps: float) -> np.ndarray:
+        """``|B(e, ε) ∩ X|`` for each center.
+
+        Served from the harvested counts when ``ε`` matches; otherwise
+        recomputed with one batch distance pass per center
+        (``O(|E| n)`` evaluations — the same order as Algorithm 1
+        itself).
+        """
+        eps = check_epsilon(eps)
+        if self.ball_counts is not None and self.ball_counts_eps == eps:
+            return self.ball_counts
+        counts = np.empty(self.n_centers, dtype=np.int64)
+        for j, center in enumerate(self.centers):
+            counts[j] = int(np.count_nonzero(self.dataset.distances_from(center) <= eps))
+        return counts
+
+    def max_cover_radius(self) -> float:
+        """The realized covering radius ``max_p dis(p, c_p)`` (``<= r̄``)."""
+        return float(self.dist_to_center.max())
+
+    def packing_violated(self) -> bool:
+        """Sanity check: ``True`` if two centers are ``<= r̄`` apart
+        (should never happen; used by tests)."""
+        m = self.n_centers
+        if m < 2:
+            return False
+        off_diag = self.center_distances[~np.eye(m, dtype=bool)]
+        return bool(off_diag.min() <= self.r_bar)
+
+
+def radius_guided_gonzalez(
+    dataset: MetricDataset,
+    r_bar: float,
+    eps_for_counts: Optional[float] = None,
+    first_index: int = 0,
+    max_centers: Optional[int] = None,
+) -> GonzalezNet:
+    """Run Algorithm 1 on ``dataset`` with radius bound ``r̄``.
+
+    Parameters
+    ----------
+    dataset:
+        The input metric space ``(X, dis)``.
+    r_bar:
+        Upper bound on the covering radius; the loop stops once
+        ``d_max <= r̄``.
+    eps_for_counts:
+        If given, harvest ``|B(e, ε)|`` per center during the run (free,
+        see module docstring).
+    first_index:
+        The arbitrary starting point ``p_0`` (deterministic default 0).
+    max_centers:
+        Optional hard cap on ``|E|`` as a runaway guard for adversarial
+        inputs; ``None`` (default) matches the paper exactly.
+
+    Returns
+    -------
+    GonzalezNet
+
+    Notes
+    -----
+    Total cost is ``O(|E| · n)`` distance evaluations where
+    ``|E| = O((Δ/r̄)^D) + z`` under Assumption 1 (Lemma 1).
+    """
+    if r_bar <= 0 or not np.isfinite(r_bar):
+        raise ValueError(f"r_bar must be positive and finite, got {r_bar}")
+    n = dataset.n
+    if not 0 <= first_index < n:
+        raise ValueError(f"first_index {first_index} out of range for n={n}")
+
+    harvest_counts = eps_for_counts is not None
+    if harvest_counts:
+        eps_for_counts = check_epsilon(eps_for_counts)
+
+    centers: List[int] = [first_index]
+    dist_to_e = dataset.distances_from(first_index)
+    center_of = np.zeros(n, dtype=np.int64)
+    center_rows: Dict[int, np.ndarray] = {}
+    counts: List[int] = []
+    if harvest_counts:
+        counts.append(int(np.count_nonzero(dist_to_e <= eps_for_counts)))
+
+    while True:
+        far = int(np.argmax(dist_to_e))
+        d_max = float(dist_to_e[far])
+        if d_max <= r_bar:
+            break
+        if max_centers is not None and len(centers) >= max_centers:
+            break
+        d_new = dataset.distances_from(far)
+        # Harvest this center's distances to all previous centers.
+        center_rows[len(centers)] = d_new[np.asarray(centers, dtype=np.intp)].copy()
+        if harvest_counts:
+            counts.append(int(np.count_nonzero(d_new <= eps_for_counts)))
+        pos = len(centers)
+        centers.append(far)
+        closer = d_new < dist_to_e
+        center_of[closer] = pos
+        np.minimum(dist_to_e, d_new, out=dist_to_e)
+
+    m = len(centers)
+    center_distances = np.zeros((m, m), dtype=np.float64)
+    for j, row in center_rows.items():
+        center_distances[j, : len(row)] = row
+        center_distances[: len(row), j] = row
+
+    return GonzalezNet(
+        dataset=dataset,
+        r_bar=float(r_bar),
+        centers=centers,
+        center_of=center_of,
+        dist_to_center=dist_to_e,
+        center_distances=center_distances,
+        ball_counts_eps=eps_for_counts if harvest_counts else None,
+        ball_counts=np.asarray(counts, dtype=np.int64) if harvest_counts else None,
+    )

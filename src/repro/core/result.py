@@ -1,0 +1,106 @@
+"""Result container shared by every clustering algorithm in the package.
+
+All solvers — the paper's algorithms and the baselines — return a
+:class:`ClusteringResult`, so the evaluation code and the benchmark
+harness treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.utils.timer import TimingBreakdown
+
+
+class PointType(IntEnum):
+    """DBSCAN point categories (Section 1.1.1)."""
+
+    NOISE = 0
+    BORDER = 1
+    CORE = 2
+
+
+@dataclass
+class ClusteringResult:
+    """Labels plus per-run diagnostics.
+
+    Attributes
+    ----------
+    labels:
+        Cluster label per point; ``-1`` is noise, clusters are ``0..k-1``.
+    core_mask:
+        Boolean core-point indicator (``None`` for algorithms without a
+        core-point notion, e.g. k-means-style baselines).
+    timings:
+        Named phase timings recorded during the run (empty for baselines
+        that do not instrument phases).
+    stats:
+        Free-form run statistics (center counts, summary sizes, distance
+        evaluations, memory footprints, ...), keyed by short names that
+        the benches print.
+    """
+
+    labels: np.ndarray
+    core_mask: Optional[np.ndarray] = None
+    timings: TimingBreakdown = field(default_factory=TimingBreakdown)
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.core_mask is not None:
+            self.core_mask = np.asarray(self.core_mask, dtype=bool)
+            if self.core_mask.shape != self.labels.shape:
+                raise ValueError(
+                    "core_mask and labels must have the same shape, got "
+                    f"{self.core_mask.shape} vs {self.labels.shape}"
+                )
+
+    @property
+    def n(self) -> int:
+        """Number of points."""
+        return int(self.labels.shape[0])
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of distinct non-noise clusters."""
+        clustered = self.labels[self.labels >= 0]
+        return int(np.unique(clustered).size)
+
+    @property
+    def n_noise(self) -> int:
+        """Number of points labeled noise (``-1``)."""
+        return int(np.count_nonzero(self.labels < 0))
+
+    def point_types(self) -> np.ndarray:
+        """Per-point :class:`PointType` array.
+
+        Requires ``core_mask``; border points are the non-core points
+        that received a cluster label.
+        """
+        if self.core_mask is None:
+            raise ValueError("point_types() requires a core_mask")
+        types = np.full(self.n, PointType.NOISE, dtype=np.int64)
+        types[self.labels >= 0] = PointType.BORDER
+        types[self.core_mask] = PointType.CORE
+        return types
+
+    def cluster_sizes(self) -> Dict[int, int]:
+        """Mapping cluster label -> size (noise excluded)."""
+        values, counts = np.unique(self.labels[self.labels >= 0], return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}
+
+    def summary(self) -> str:
+        """One-line human-readable summary for examples and benches."""
+        return (
+            f"{self.n} points, {self.n_clusters} clusters, "
+            f"{self.n_noise} noise"
+            + (
+                f", {int(np.count_nonzero(self.core_mask))} core"
+                if self.core_mask is not None
+                else ""
+            )
+        )

@@ -1,0 +1,315 @@
+"""Algorithm 3: streaming ρ-approximate DBSCAN (Section 4.2).
+
+Three passes over the stream, memory independent of ``n``:
+
+- **Pass 1** builds the center set ``E`` incrementally (a point farther
+  than ``r̄ = ρε/2`` from every existing center becomes a new center),
+  counts detected ε-ball members per center, promotes centers whose
+  detected count reaches MinPts into the summary, and collects the
+  watch-list ``M`` of points assigned to (so-far) non-core centers.
+- **Pass 2** recounts ``|B(m, ε)|`` exactly for every ``m ∈ M`` against
+  the full stream, adds the core ones to ``S*``, and merges ``S*``
+  offline at threshold ``(1+ρ)ε``.
+- **Pass 3** labels each streamed point: its nearest center's cluster
+  when that center is core, else the nearest summary point within
+  ``(1 + ρ/2)ε``, else outlier.
+
+Memory is ``|E| + |M| = O((Δ/ρε)^D + z)`` payloads (Theorem 4); the
+exact footprint is reported in the result stats (the quantity Figure 6
+plots as ``(|E| + |M|)/n``).
+
+Implementation detail vs. the pseudo-code: a center's detected count in
+pass 1 misses points that arrived *before* the center was created, so a
+truly-core center can end pass 1 undetected.  We therefore place each
+newly created center on the watch-list ``M`` as well; pass 2's exact
+recount then classifies it correctly, preserving the summary
+completeness that Theorem 2's maximality argument needs while keeping
+``|M| = O(MinPts · |E|)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.result import ClusteringResult
+from repro.metricspace.base import Metric
+from repro.metricspace.dataset import MetricDataset
+from repro.metricspace.euclidean import EuclideanMetric
+from repro.utils.timer import TimingBreakdown
+from repro.utils.unionfind import UnionFind
+from repro.utils.validation import check_epsilon, check_min_pts, check_rho
+
+StreamFactory = Callable[[], Iterable[Any]]
+
+
+class _PayloadStore:
+    """Append-only payload buffer with a cheap batch-distance view.
+
+    Vector payloads live in a doubling numpy buffer so the metric's
+    vectorized batch path applies; other payloads live in a list.
+    """
+
+    def __init__(self, metric: Metric) -> None:
+        self._metric = metric
+        self._vector = metric.is_vector_metric
+        self._list: List[Any] = []
+        self._array: Optional[np.ndarray] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def append(self, payload: Any) -> int:
+        idx = self._size
+        if self._vector:
+            row = np.asarray(payload, dtype=np.float64).ravel()
+            if self._array is None:
+                self._array = np.empty((4, row.shape[0]), dtype=np.float64)
+            elif self._size == self._array.shape[0]:
+                grown = np.empty(
+                    (2 * self._array.shape[0], self._array.shape[1]),
+                    dtype=np.float64,
+                )
+                grown[: self._size] = self._array[: self._size]
+                self._array = grown
+            self._array[self._size] = row
+        else:
+            self._list.append(payload)
+        self._size += 1
+        return idx
+
+    def view(self) -> Any:
+        """All stored payloads (array slice or list)."""
+        if self._vector:
+            if self._array is None:
+                return np.empty((0, 0), dtype=np.float64)
+            return self._array[: self._size]
+        return self._list
+
+    def get(self, idx: int) -> Any:
+        return self._array[idx] if self._vector else self._list[idx]
+
+    def distances_from(self, payload: Any) -> np.ndarray:
+        """Distances from ``payload`` to every stored payload."""
+        if self._size == 0:
+            return np.empty(0, dtype=np.float64)
+        return self._metric.distance_many(payload, self.view())
+
+
+class StreamingApproxDBSCAN:
+    """Streaming ρ-approximate DBSCAN (Algorithm 3).
+
+    Parameters
+    ----------
+    eps, min_pts:
+        The DBSCAN parameters.
+    rho:
+        Approximation parameter (``ρ <= 2`` for the memory bound of
+        Theorem 4; the experiments use 0.5/1/2).
+    metric:
+        Distance function over stream payloads; defaults to Euclidean.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.metricspace import MetricDataset
+    >>> pts = np.array([[0.0], [0.1], [0.2], [5.0], [5.1], [5.2], [99.0]])
+    >>> solver = StreamingApproxDBSCAN(0.5, 3, rho=0.5)
+    >>> result = solver.fit(MetricDataset(pts))
+    >>> result.n_clusters, result.n_noise
+    (2, 1)
+    """
+
+    def __init__(
+        self,
+        eps: float,
+        min_pts: int,
+        rho: float = 0.5,
+        metric: Optional[Metric] = None,
+    ) -> None:
+        self.eps = check_epsilon(eps)
+        self.min_pts = check_min_pts(min_pts)
+        self.rho = check_rho(rho)
+        self.r_bar = self.rho * self.eps / 2.0
+        self.metric = metric if metric is not None else EuclideanMetric()
+
+    # ------------------------------------------------------------------
+
+    def fit(self, dataset: MetricDataset) -> ClusteringResult:
+        """Run the three-pass algorithm over a dataset's points.
+
+        The dataset is only ever *scanned*; nothing proportional to
+        ``n`` is retained except the output labels.  The *dataset's*
+        metric is used (so a counting wrapper is honored); the solver's
+        own metric only applies to :meth:`fit_stream`.
+        """
+        if dataset.metric.is_vector_metric != self.metric.is_vector_metric:
+            raise ValueError("dataset payload kind does not match the solver metric")
+
+        def factory() -> Iterable[Any]:
+            points = dataset.points
+            if dataset.metric.is_vector_metric:
+                return iter(points)
+            return iter(list(points))
+
+        return self.fit_stream(factory, n_hint=dataset.n, metric=dataset.metric)
+
+    def fit_stream(
+        self,
+        stream_factory: StreamFactory,
+        n_hint: Optional[int] = None,
+        metric: Optional[Metric] = None,
+    ) -> ClusteringResult:
+        """Run the three passes over ``stream_factory()`` iterables.
+
+        Parameters
+        ----------
+        stream_factory:
+            Zero-argument callable producing a *fresh* iterable over the
+            same payload sequence each time it is called (three calls
+            total).
+        n_hint:
+            Optional expected stream length (only used for stats).
+        metric:
+            Override of the solver's metric for this run (used by
+            :meth:`fit` to honor the dataset's own — possibly counting —
+            metric).
+        """
+        timings = TimingBreakdown()
+        metric = metric if metric is not None else self.metric
+        eps, r_bar, min_pts = self.eps, self.r_bar, self.min_pts
+
+        centers = _PayloadStore(metric)
+        detected = []  # detected ε-ball count per center
+        watch = _PayloadStore(metric)  # the set M
+        watch_center: List[int] = []  # arrival-time center of each M entry
+        watch_is_center: List[bool] = []
+        center_watch_pos: List[int] = []  # center -> its own M position
+        n_seen = 0
+
+        with timings.phase("pass1_build_net"):
+            for payload in stream_factory():
+                n_seen += 1
+                dists = centers.distances_from(payload)
+                if dists.size:
+                    within_eps = dists <= eps
+                    for j in np.flatnonzero(within_eps):
+                        detected[j] += 1
+                    nearest = int(np.argmin(dists))
+                    nearest_d = float(dists[nearest])
+                else:
+                    nearest, nearest_d = -1, np.inf
+                if nearest_d > r_bar:
+                    # New center; it watches itself (see module notes).
+                    j = centers.append(payload)
+                    detected.append(1)  # the center counts itself
+                    pos = watch.append(payload)
+                    watch_center.append(j)
+                    watch_is_center.append(True)
+                    center_watch_pos.append(pos)
+                else:
+                    if detected[nearest] < min_pts:
+                        pos = watch.append(payload)
+                        watch_center.append(nearest)
+                        watch_is_center.append(False)
+
+        m_centers = len(centers)
+        detected_arr = np.asarray(detected, dtype=np.int64)
+
+        with timings.phase("pass2_recount"):
+            exact_counts = np.zeros(len(watch), dtype=np.int64)
+            if len(watch):
+                for payload in stream_factory():
+                    d = watch.distances_from(payload)
+                    exact_counts += d <= eps
+            watch_core = exact_counts >= min_pts
+
+        with timings.phase("pass2_summary"):
+            center_is_core = detected_arr >= min_pts
+            for pos, j in enumerate(watch_center):
+                if watch_is_center[pos] and watch_core[pos]:
+                    center_is_core[j] = True
+            # Assemble S*: core centers, plus core watch-list points whose
+            # center is not core.
+            summary_payloads = _PayloadStore(metric)
+            summary_center: List[int] = []
+            center_summary_pos = np.full(m_centers, -1, dtype=np.int64)
+            for j in range(m_centers):
+                if center_is_core[j]:
+                    center_summary_pos[j] = summary_payloads.append(centers.get(j))
+                    summary_center.append(j)
+            for pos in range(len(watch)):
+                if watch_is_center[pos]:
+                    continue
+                j = watch_center[pos]
+                if watch_core[pos] and not center_is_core[j]:
+                    summary_payloads.append(watch.get(pos))
+                    summary_center.append(j)
+
+        with timings.phase("pass2_merge"):
+            member_cluster = self._merge_offline(summary_payloads, metric)
+
+        labels = np.empty(n_seen, dtype=np.int64)
+        fallback_radius = (self.rho / 2.0 + 1.0) * eps
+        with timings.phase("pass3_label"):
+            for i, payload in enumerate(stream_factory()):
+                if i >= n_seen:
+                    raise ValueError("stream grew between passes")
+                dists = centers.distances_from(payload)
+                nearest = int(np.argmin(dists))
+                if center_is_core[nearest] and float(dists[nearest]) <= r_bar:
+                    labels[i] = member_cluster[center_summary_pos[nearest]]
+                    continue
+                sdists = summary_payloads.distances_from(payload)
+                if sdists.size:
+                    pos = int(np.argmin(sdists))
+                    if float(sdists[pos]) <= fallback_radius:
+                        labels[i] = member_cluster[pos]
+                        continue
+                labels[i] = -1
+
+        memory_points = m_centers + len(watch)
+        return ClusteringResult(
+            labels=labels,
+            core_mask=None,
+            timings=timings,
+            stats={
+                "algorithm": "our_streaming",
+                "eps": eps,
+                "min_pts": min_pts,
+                "rho": self.rho,
+                "n_centers": m_centers,
+                "watch_size": len(watch),
+                "summary_size": len(summary_payloads),
+                "memory_points": memory_points,
+                "memory_ratio": memory_points / max(n_seen, 1),
+                "n_passes": 3,
+                "n_seen": n_seen,
+            },
+        )
+
+    # ------------------------------------------------------------------
+
+    def _merge_offline(
+        self, summary: _PayloadStore, metric: Optional[Metric] = None
+    ) -> np.ndarray:
+        """Line 15: merge inside ``S*`` at threshold ``(1+ρ)ε``.
+
+        ``S*`` fits in memory, so a brute-force pairwise sweep is used;
+        its cost is ``O(|S*|^2 t_dis)`` independent of ``n``.
+        """
+        metric = metric if metric is not None else self.metric
+        size = len(summary)
+        threshold = (1.0 + self.rho) * self.eps
+        uf = UnionFind(size)
+        payloads = summary.view()
+        for i in range(size):
+            if i + 1 >= size:
+                break
+            dists = metric.distance_many(summary.get(i), payloads[i + 1 :])
+            for offset in np.flatnonzero(dists <= threshold):
+                uf.union(i, i + 1 + int(offset))
+        labels_map = uf.component_labels(range(size))
+        return np.array([labels_map[i] for i in range(size)], dtype=np.int64)

@@ -1,0 +1,124 @@
+"""Core-point summary ``S*`` construction (Section 4.1).
+
+The summary is the key device of the paper's approximate algorithm: a
+small set that (a) is ``O((Δ/ρε)^D + z)`` in size (Lemma 9) and (b) can
+regenerate valid ρ-approximate clusters (Theorem 2).  The construction
+walks the centers of a ``r̄ = ρε/2`` Gonzalez net:
+
+- a **core center** enters ``S*`` alone and *represents* every point of
+  its cover set;
+- a **non-core center** has ``|C_e| < MinPts`` members (Lemma 8 with
+  ``ρ <= 2``), each of which is individually tested for core-ness (the
+  candidate set again bounded by Lemma 2) and added to ``S*`` if core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.gonzalez import GonzalezNet
+from repro.metricspace.dataset import MetricDataset
+
+
+@dataclass
+class CoreSummary:
+    """The summary ``S*`` plus the bookkeeping the solver needs.
+
+    Attributes
+    ----------
+    members:
+        Point indices of ``S*`` in deterministic order.
+    member_position:
+        ``member_position[p]`` is the position of point ``p`` inside
+        ``members`` (``-1`` when ``p ∉ S*``).
+    center_is_core:
+        Per center position, whether the center point is a core point.
+    known_core_mask:
+        Points *proven* core during construction: the core centers plus
+        the core members of sparse cover sets.  Points represented by a
+        core center are never tested, so this mask is a subset of the
+        true core set — exactly the information Algorithm 2 has.
+    members_by_center:
+        For each center position, positions (into ``members``) of the
+        summary points whose assigned center it is.
+    """
+
+    members: np.ndarray
+    member_position: np.ndarray
+    center_is_core: np.ndarray
+    known_core_mask: np.ndarray
+    members_by_center: List[List[int]]
+
+    @property
+    def size(self) -> int:
+        """``|S*|``."""
+        return int(self.members.shape[0])
+
+
+def build_summary(
+    dataset: MetricDataset,
+    net: GonzalezNet,
+    eps: float,
+    min_pts: int,
+    neighbors: List[np.ndarray],
+) -> CoreSummary:
+    """Construct ``S*`` per Algorithm 2 (lines 2--8).
+
+    Parameters
+    ----------
+    dataset:
+        The input metric space.
+    net:
+        A Gonzalez net with ``r̄ <= ρε/2`` (callers enforce this).
+    eps, min_pts:
+        The DBSCAN parameters.
+    neighbors:
+        Neighbor ball-center sets ``A_e`` computed at a threshold of at
+        least ``2 r̄ + ε`` so the Lemma-2 candidate bound applies.
+
+    Notes
+    -----
+    Cost is ``O(((1/ρ)^D + z) n t_dis)`` (Lemma 10): the per-point core
+    tests only happen inside sparse cover sets, whose sizes are below
+    ``MinPts``.
+    """
+    cover = net.cover_sets()
+    counts = net.ball_count_for(eps)
+    center_is_core = counts >= min_pts
+
+    n = dataset.n
+    known_core = np.zeros(n, dtype=bool)
+    members: List[int] = []
+    members_by_center: List[List[int]] = [[] for _ in range(net.n_centers)]
+
+    for j in range(net.n_centers):
+        if center_is_core[j]:
+            center_point = net.centers[j]
+            known_core[center_point] = True
+            members_by_center[j].append(len(members))
+            members.append(center_point)
+            continue
+        sphere = cover[j]
+        if len(sphere) == 0:
+            continue
+        candidates = np.concatenate([cover[k] for k in neighbors[j]])
+        for p in sphere:
+            dists = dataset.distances_from(int(p), candidates)
+            if int(np.count_nonzero(dists <= eps)) >= min_pts:
+                known_core[p] = True
+                members_by_center[j].append(len(members))
+                members.append(int(p))
+
+    members_arr = np.asarray(members, dtype=np.int64)
+    member_position = np.full(n, -1, dtype=np.int64)
+    member_position[members_arr] = np.arange(len(members))
+    return CoreSummary(
+        members=members_arr,
+        member_position=member_position,
+        center_is_core=center_is_core,
+        known_core_mask=known_core,
+        members_by_center=members_by_center,
+    )

@@ -1,0 +1,11 @@
+"""Vanilla cover tree (Beygelzimer, Kakade & Langford 2006).
+
+Used by the exact solver's merge step (Section 3.1, Step (2)) to answer
+the bichromatic-closest-pair queries between core-point cover sets, and
+by the Section 3.2 variant to extract an ``ε/2``-net directly from a tree
+level.  See :class:`repro.covertree.tree.CoverTree`.
+"""
+
+from repro.covertree.tree import CoverTree
+
+__all__ = ["CoverTree"]

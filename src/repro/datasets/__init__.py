@@ -1,0 +1,56 @@
+"""Synthetic dataset generators and the paper-dataset registry.
+
+No-network reproduction: every public dataset from the paper's Table 1
+has a deterministic synthetic stand-in here (DESIGN.md §3 documents each
+substitution and why it preserves the behaviour under test).
+"""
+
+from repro.datasets.noisy import make_noisy_variant
+from repro.datasets.registry import (
+    REGISTRY,
+    DatasetSpec,
+    LoadedDataset,
+    dataset_names,
+    load_dataset,
+)
+from repro.datasets.streams import (
+    ReplayStream,
+    chunked,
+    make_session_stream,
+    prefix_split,
+)
+from repro.datasets.synthetic import (
+    make_anisotropic,
+    make_spirals,
+    make_swiss_roll,
+    make_blobs,
+    make_circles,
+    make_cluto_like,
+    make_low_doubling,
+    make_moons,
+)
+from repro.datasets.text import make_text_clusters, mutate_string, random_string
+
+__all__ = [
+    "make_blobs",
+    "make_moons",
+    "make_circles",
+    "make_cluto_like",
+    "make_anisotropic",
+    "make_low_doubling",
+    "make_spirals",
+    "make_swiss_roll",
+    "make_text_clusters",
+    "random_string",
+    "mutate_string",
+    "make_noisy_variant",
+    "make_session_stream",
+    "prefix_split",
+    "chunked",
+    "ReplayStream",
+    "REGISTRY",
+    "DatasetSpec",
+    "LoadedDataset",
+    "dataset_names",
+    "load_dataset",
+]

@@ -1,0 +1,259 @@
+"""Registry of the paper's Table-1 datasets via synthetic stand-ins.
+
+Each entry maps a paper dataset to a deterministic generator that
+preserves the structural property the paper relies on (DESIGN.md §3
+documents every substitution).  Scales are reduced to keep the pure-
+Python bench suite tractable; the ``paper_n`` field records the
+original size so the benches can print both.
+
+Usage
+-----
+>>> from repro.datasets.registry import load_dataset
+>>> ds = load_dataset("moons", size=500)
+>>> ds.dataset.n
+500
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.synthetic import (
+    make_anisotropic,
+    make_blobs,
+    make_cluto_like,
+    make_low_doubling,
+    make_moons,
+)
+from repro.datasets.text import make_text_clusters
+from repro.metricspace.dataset import MetricDataset
+from repro.metricspace.editdistance import EditDistanceMetric
+from repro.metricspace.euclidean import EuclideanMetric
+
+
+@dataclass
+class LoadedDataset:
+    """A ready-to-cluster dataset plus its ground truth and metadata."""
+
+    name: str
+    dataset: MetricDataset
+    labels: np.ndarray
+    category: str
+    eps_range: Tuple[float, float]
+    paper_n: int
+    note: str = ""
+
+
+@dataclass
+class DatasetSpec:
+    """Registry entry: how to build a stand-in for one paper dataset."""
+
+    name: str
+    category: str  # "low_dim" | "high_dim" | "text" | "large" | "stream"
+    default_size: int
+    paper_n: int
+    paper_dim: str
+    eps_range: Tuple[float, float]
+    builder: Callable[[int, int], Tuple[object, np.ndarray]]
+    metric_factory: Callable[[], object] = EuclideanMetric
+    note: str = ""
+
+    def load(self, size: Optional[int] = None, seed: int = 0) -> LoadedDataset:
+        n = self.default_size if size is None else int(size)
+        payloads, labels = self.builder(n, seed)
+        return LoadedDataset(
+            name=self.name,
+            dataset=MetricDataset(payloads, self.metric_factory()),
+            labels=np.asarray(labels, dtype=np.int64),
+            category=self.category,
+            eps_range=self.eps_range,
+            paper_n=self.paper_n,
+            note=self.note,
+        )
+
+
+def _image_like(ambient_dim: int, intrinsic_dim: int = 4, n_clusters: int = 6):
+    def build(n: int, seed: int):
+        return make_low_doubling(
+            n=n,
+            ambient_dim=ambient_dim,
+            intrinsic_dim=intrinsic_dim,
+            n_clusters=n_clusters,
+            outlier_fraction=0.01,
+            cluster_std=0.6,
+            separation=12.0,
+            seed=seed,
+        )
+
+    return build
+
+
+def _gaussian_like(dim: int, n_clusters: int, std: float = 0.8):
+    def build(n: int, seed: int):
+        return make_blobs(
+            n=n,
+            n_clusters=n_clusters,
+            dim=dim,
+            std=std,
+            spread=10.0,
+            outlier_fraction=0.02,
+            seed=seed,
+        )
+
+    return build
+
+
+def _text_like(seed_length: int, n_clusters: int):
+    def build(n: int, seed: int):
+        return make_text_clusters(
+            n=n,
+            n_clusters=n_clusters,
+            seed_length=seed_length,
+            max_edits=4,
+            outlier_fraction=0.02,
+            seed=seed,
+        )
+
+    return build
+
+
+REGISTRY: Dict[str, DatasetSpec] = {}
+
+
+def _register(spec: DatasetSpec) -> None:
+    REGISTRY[spec.name] = spec
+
+
+# --- low/medium dimensional (Figure 3, row 1) -------------------------
+_register(DatasetSpec(
+    name="moons", category="low_dim", default_size=2000, paper_n=10_000,
+    paper_dim="2", eps_range=(0.05, 0.25),
+    builder=lambda n, seed: make_moons(n=n, noise=0.06, outlier_fraction=0.02, seed=seed),
+    note="paper: sklearn make_moons",
+))
+_register(DatasetSpec(
+    name="cluto", category="low_dim", default_size=2000, paper_n=8_000,
+    paper_dim="2", eps_range=(0.2, 0.8),
+    builder=lambda n, seed: make_cluto_like(n=n, outlier_fraction=0.05, seed=seed),
+    note="stand-in for the CLUTO t-series scenes",
+))
+_register(DatasetSpec(
+    name="cancer", category="low_dim", default_size=569, paper_n=569,
+    paper_dim="32", eps_range=(4.5, 7.0),
+    builder=_gaussian_like(dim=32, n_clusters=2),
+    note="Wisconsin breast cancer: 2-class 32-dim vectors",
+))
+_register(DatasetSpec(
+    name="arrhythmia", category="low_dim", default_size=452, paper_n=452,
+    paper_dim="262", eps_range=(20.0, 28.0),
+    builder=_gaussian_like(dim=262, n_clusters=3, std=1.0),
+))
+_register(DatasetSpec(
+    name="biodeg", category="low_dim", default_size=1055, paper_n=1_055,
+    paper_dim="41", eps_range=(5.0, 8.0),
+    builder=_gaussian_like(dim=41, n_clusters=2),
+))
+
+# --- high dimensional, low intrinsic dimension (row 2) ----------------
+_register(DatasetSpec(
+    name="mnist", category="high_dim", default_size=1500, paper_n=10_000,
+    paper_dim="784", eps_range=(2.0, 6.0),
+    builder=_image_like(ambient_dim=784, intrinsic_dim=4, n_clusters=10),
+    note="manifold stand-in: 4-dim clusters isometrically embedded in 784-dim",
+))
+_register(DatasetSpec(
+    name="fashion_mnist", category="high_dim", default_size=1500, paper_n=10_000,
+    paper_dim="784", eps_range=(2.0, 6.0),
+    builder=_image_like(ambient_dim=784, intrinsic_dim=5, n_clusters=10),
+))
+_register(DatasetSpec(
+    name="usps_hw", category="high_dim", default_size=1500, paper_n=10_000,
+    paper_dim="256", eps_range=(2.0, 6.0),
+    builder=_image_like(ambient_dim=256, intrinsic_dim=4, n_clusters=10),
+))
+_register(DatasetSpec(
+    name="cifar10", category="high_dim", default_size=1200, paper_n=10_000,
+    paper_dim="3072", eps_range=(2.0, 6.0),
+    builder=_image_like(ambient_dim=3072, intrinsic_dim=6, n_clusters=10),
+))
+
+# --- text / edit distance (row 3) --------------------------------------
+_register(DatasetSpec(
+    name="cola", category="text", default_size=400, paper_n=515,
+    paper_dim="n/a", eps_range=(4.0, 12.0),
+    builder=_text_like(seed_length=30, n_clusters=2),
+    metric_factory=EditDistanceMetric,
+))
+_register(DatasetSpec(
+    name="ag_news", category="text", default_size=500, paper_n=7_600,
+    paper_dim="n/a", eps_range=(4.0, 12.0),
+    builder=_text_like(seed_length=40, n_clusters=4),
+    metric_factory=EditDistanceMetric,
+))
+_register(DatasetSpec(
+    name="mrpc", category="text", default_size=400, paper_n=1_725,
+    paper_dim="n/a", eps_range=(4.0, 12.0),
+    builder=_text_like(seed_length=36, n_clusters=2),
+    metric_factory=EditDistanceMetric,
+))
+_register(DatasetSpec(
+    name="mnli", category="text", default_size=500, paper_n=9_815,
+    paper_dim="n/a", eps_range=(4.0, 12.0),
+    builder=_text_like(seed_length=34, n_clusters=3),
+    metric_factory=EditDistanceMetric,
+))
+
+# --- million-scale (row 4), scaled down with the factor recorded ------
+_register(DatasetSpec(
+    name="deep1b", category="large", default_size=4000, paper_n=9_990_000,
+    paper_dim="96", eps_range=(1.5, 5.0),
+    builder=_image_like(ambient_dim=96, intrinsic_dim=5, n_clusters=8),
+    note="scaled ~2500x down; linear-in-n shape exercised by the size sweep",
+))
+_register(DatasetSpec(
+    name="gist", category="large", default_size=3000, paper_n=1_000_000,
+    paper_dim="960", eps_range=(2.0, 6.0),
+    builder=_image_like(ambient_dim=960, intrinsic_dim=5, n_clusters=8),
+))
+_register(DatasetSpec(
+    name="glove25", category="large", default_size=4000, paper_n=1_183_514,
+    paper_dim="25", eps_range=(1.0, 4.0),
+    builder=_image_like(ambient_dim=25, intrinsic_dim=5, n_clusters=8),
+))
+_register(DatasetSpec(
+    name="sift", category="large", default_size=4000, paper_n=1_000_000,
+    paper_dim="128", eps_range=(1.5, 5.0),
+    builder=_image_like(ambient_dim=128, intrinsic_dim=5, n_clusters=8),
+))
+_register(DatasetSpec(
+    name="pcam", category="large", default_size=2000, paper_n=2_493_440,
+    paper_dim="1024", eps_range=(2.0, 6.0),
+    builder=_image_like(ambient_dim=1024, intrinsic_dim=5, n_clusters=4),
+))
+_register(DatasetSpec(
+    name="lsun", category="large", default_size=2000, paper_n=2_943_300,
+    paper_dim="1024", eps_range=(2.0, 6.0),
+    builder=_image_like(ambient_dim=1024, intrinsic_dim=6, n_clusters=6),
+))
+
+
+def dataset_names(category: Optional[str] = None) -> List[str]:
+    """Registered dataset names, optionally filtered by category."""
+    return [
+        name for name, spec in REGISTRY.items()
+        if category is None or spec.category == category
+    ]
+
+
+def load_dataset(
+    name: str, size: Optional[int] = None, seed: int = 0
+) -> LoadedDataset:
+    """Build the stand-in for a registered paper dataset."""
+    if name not in REGISTRY:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(REGISTRY)}"
+        )
+    return REGISTRY[name].load(size=size, seed=seed)

@@ -1,0 +1,279 @@
+"""Synthetic vector-data generators.
+
+These generators are the stand-ins for the paper's public datasets (the
+substitution table is in DESIGN.md §3).  Each returns
+``(points, labels)`` where ``labels`` are the ground-truth cluster ids
+(``-1`` for planted outliers) used by the ARI/AMI benches.
+
+The key generator for the paper's setting is :func:`make_low_doubling`:
+clusters living on a low-dimensional manifold embedded in a high
+ambient dimension (inliers with low doubling dimension) plus uniform
+outliers that can sit anywhere (no assumption — the paper's adversarial
+outlier model).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, check_random_state
+
+Generated = Tuple[np.ndarray, np.ndarray]
+
+
+def make_blobs(
+    n: int = 300,
+    n_clusters: int = 3,
+    dim: int = 2,
+    std: float = 0.5,
+    spread: float = 10.0,
+    outlier_fraction: float = 0.0,
+    seed: SeedLike = 0,
+) -> Generated:
+    """Isotropic Gaussian blobs with optional uniform outliers."""
+    rng = check_random_state(seed)
+    n_out = int(round(outlier_fraction * n))
+    n_in = n - n_out
+    centers = rng.uniform(-spread, spread, size=(n_clusters, dim))
+    sizes = _split_sizes(n_in, n_clusters, rng)
+    points, labels = [], []
+    for c in range(n_clusters):
+        points.append(rng.normal(centers[c], std, size=(sizes[c], dim)))
+        labels.append(np.full(sizes[c], c))
+    if n_out:
+        points.append(rng.uniform(-2.0 * spread, 2.0 * spread, size=(n_out, dim)))
+        labels.append(np.full(n_out, -1))
+    return _shuffle(np.vstack(points), np.concatenate(labels), rng)
+
+
+def make_moons(
+    n: int = 300,
+    noise: float = 0.06,
+    outlier_fraction: float = 0.0,
+    seed: SeedLike = 0,
+) -> Generated:
+    """The classic two interleaving half-moons (the paper's *Moons*)."""
+    rng = check_random_state(seed)
+    n_out = int(round(outlier_fraction * n))
+    n_in = n - n_out
+    n_a = n_in // 2
+    n_b = n_in - n_a
+    theta_a = rng.uniform(0.0, np.pi, size=n_a)
+    theta_b = rng.uniform(0.0, np.pi, size=n_b)
+    moon_a = np.column_stack([np.cos(theta_a), np.sin(theta_a)])
+    moon_b = np.column_stack([1.0 - np.cos(theta_b), 0.5 - np.sin(theta_b)])
+    points = np.vstack([moon_a, moon_b]) + rng.normal(0.0, noise, size=(n_in, 2))
+    labels = np.concatenate([np.zeros(n_a), np.ones(n_b)]).astype(np.int64)
+    if n_out:
+        outliers = rng.uniform(-2.5, 3.5, size=(n_out, 2))
+        points = np.vstack([points, outliers])
+        labels = np.concatenate([labels, np.full(n_out, -1)])
+    return _shuffle(points, labels, check_random_state(rng))
+
+
+def make_circles(
+    n: int = 300,
+    factor: float = 0.45,
+    noise: float = 0.04,
+    outlier_fraction: float = 0.0,
+    seed: SeedLike = 0,
+) -> Generated:
+    """Two concentric rings — a shape k-means-style baselines cannot cut."""
+    rng = check_random_state(seed)
+    if not 0.0 < factor < 1.0:
+        raise ValueError(f"factor must be in (0, 1), got {factor}")
+    n_out = int(round(outlier_fraction * n))
+    n_in = n - n_out
+    n_a = n_in // 2
+    n_b = n_in - n_a
+    theta_a = rng.uniform(0.0, 2.0 * np.pi, size=n_a)
+    theta_b = rng.uniform(0.0, 2.0 * np.pi, size=n_b)
+    ring_a = np.column_stack([np.cos(theta_a), np.sin(theta_a)])
+    ring_b = factor * np.column_stack([np.cos(theta_b), np.sin(theta_b)])
+    points = np.vstack([ring_a, ring_b]) + rng.normal(0.0, noise, size=(n_in, 2))
+    labels = np.concatenate([np.zeros(n_a), np.ones(n_b)]).astype(np.int64)
+    if n_out:
+        points = np.vstack([points, rng.uniform(-2.0, 2.0, size=(n_out, 2))])
+        labels = np.concatenate([labels, np.full(n_out, -1)])
+    return _shuffle(points, labels, rng)
+
+
+def make_cluto_like(
+    n: int = 600,
+    outlier_fraction: float = 0.05,
+    seed: SeedLike = 0,
+) -> Generated:
+    """A CLUTO-t*-style 2-D scene: arbitrary-shape dense regions
+    (two rings, a bar, a blob) floating in uniform noise."""
+    rng = check_random_state(seed)
+    n_out = int(round(outlier_fraction * n))
+    n_in = n - n_out
+    quarters = _split_sizes(n_in, 4, rng)
+
+    theta = rng.uniform(0.0, 2.0 * np.pi, size=quarters[0])
+    ring = np.column_stack([3.0 * np.cos(theta), 3.0 * np.sin(theta)])
+    ring += rng.normal(0.0, 0.15, size=ring.shape)
+
+    theta2 = rng.uniform(0.0, np.pi, size=quarters[1])
+    arc = np.column_stack([8.0 + 2.0 * np.cos(theta2), 2.0 * np.sin(theta2) - 4.0])
+    arc += rng.normal(0.0, 0.12, size=arc.shape)
+
+    bar = np.column_stack(
+        [rng.uniform(-6.0, -1.0, size=quarters[2]), rng.normal(6.0, 0.2, size=quarters[2])]
+    )
+
+    blob = rng.normal([9.0, 6.0], 0.4, size=(quarters[3], 2))
+
+    points = np.vstack([ring, arc, bar, blob])
+    labels = np.concatenate(
+        [np.full(quarters[i], i) for i in range(4)]
+    ).astype(np.int64)
+    if n_out:
+        points = np.vstack([points, rng.uniform(-10.0, 14.0, size=(n_out, 2))])
+        labels = np.concatenate([labels, np.full(n_out, -1)])
+    return _shuffle(points, labels, rng)
+
+
+def make_anisotropic(
+    n: int = 300,
+    n_clusters: int = 3,
+    dim: int = 2,
+    seed: SeedLike = 0,
+) -> Generated:
+    """Gaussian blobs sheared by random linear maps (elongated clusters)."""
+    rng = check_random_state(seed)
+    sizes = _split_sizes(n, n_clusters, rng)
+    points, labels = [], []
+    for c in range(n_clusters):
+        base = rng.normal(0.0, 1.0, size=(sizes[c], dim))
+        shear = rng.normal(0.0, 1.0, size=(dim, dim))
+        center = rng.uniform(-12.0, 12.0, size=dim)
+        points.append(base @ shear * 0.4 + center)
+        labels.append(np.full(sizes[c], c))
+    return _shuffle(np.vstack(points), np.concatenate(labels), rng)
+
+
+def make_low_doubling(
+    n: int = 1000,
+    ambient_dim: int = 64,
+    intrinsic_dim: int = 3,
+    n_clusters: int = 5,
+    outlier_fraction: float = 0.01,
+    cluster_std: float = 0.5,
+    separation: float = 10.0,
+    ambient_noise: float = 0.01,
+    seed: SeedLike = 0,
+) -> Generated:
+    """Inliers on a low-dimensional manifold in high ambient dimension.
+
+    Cluster points are drawn in an ``intrinsic_dim``-dimensional latent
+    space, mapped into ``ambient_dim`` dimensions through one shared
+    random *isometry* (orthonormal columns — distances are preserved, so
+    the inliers' doubling dimension stays that of the latent space) and
+    perturbed with tiny ambient noise.  Outliers are uniform over the
+    ambient bounding box: arbitrary positions, high intrinsic dimension
+    — the paper's adversarial-outlier setting.
+    """
+    rng = check_random_state(seed)
+    if intrinsic_dim > ambient_dim:
+        raise ValueError(
+            f"intrinsic_dim ({intrinsic_dim}) cannot exceed ambient_dim "
+            f"({ambient_dim})"
+        )
+    n_out = int(round(outlier_fraction * n))
+    n_in = n - n_out
+    # A single shared isometry keeps the union of clusters on one
+    # low-dimensional subspace.
+    gauss = rng.normal(0.0, 1.0, size=(ambient_dim, intrinsic_dim))
+    q, _ = np.linalg.qr(gauss)
+    latent_centers = rng.uniform(
+        -separation, separation, size=(n_clusters, intrinsic_dim)
+    )
+    sizes = _split_sizes(n_in, n_clusters, rng)
+    latent_points, labels = [], []
+    for c in range(n_clusters):
+        latent_points.append(
+            rng.normal(latent_centers[c], cluster_std, size=(sizes[c], intrinsic_dim))
+        )
+        labels.append(np.full(sizes[c], c))
+    inliers = np.vstack(latent_points) @ q.T
+    if ambient_noise > 0:
+        inliers = inliers + rng.normal(0.0, ambient_noise, size=inliers.shape)
+    points = inliers
+    label_arr = np.concatenate(labels).astype(np.int64)
+    if n_out:
+        radius = 2.0 * separation
+        outliers = rng.uniform(-radius, radius, size=(n_out, ambient_dim))
+        points = np.vstack([points, outliers])
+        label_arr = np.concatenate([label_arr, np.full(n_out, -1)])
+    return _shuffle(points, label_arr, rng)
+
+
+def make_spirals(
+    n: int = 400,
+    n_arms: int = 2,
+    turns: float = 1.5,
+    noise: float = 0.03,
+    outlier_fraction: float = 0.0,
+    seed: SeedLike = 0,
+) -> Generated:
+    """Interleaved spiral arms — the canonical arbitrary-shape DBSCAN
+    benchmark (center-based methods cannot separate the arms)."""
+    rng = check_random_state(seed)
+    if n_arms < 1:
+        raise ValueError(f"n_arms must be >= 1, got {n_arms}")
+    n_out = int(round(outlier_fraction * n))
+    n_in = n - n_out
+    sizes = _split_sizes(n_in, n_arms, rng)
+    points, labels = [], []
+    for arm in range(n_arms):
+        t = rng.uniform(0.25, 1.0, size=sizes[arm])  # radial position
+        theta = turns * 2.0 * np.pi * t + 2.0 * np.pi * arm / n_arms
+        radius = 3.0 * t
+        arm_pts = np.column_stack([radius * np.cos(theta), radius * np.sin(theta)])
+        points.append(arm_pts + rng.normal(0.0, noise, size=arm_pts.shape))
+        labels.append(np.full(sizes[arm], arm))
+    if n_out:
+        points.append(rng.uniform(-4.0, 4.0, size=(n_out, 2)))
+        labels.append(np.full(n_out, -1))
+    return _shuffle(np.vstack(points), np.concatenate(labels), rng)
+
+
+def make_swiss_roll(
+    n: int = 500,
+    noise: float = 0.05,
+    seed: SeedLike = 0,
+) -> Generated:
+    """A Swiss-roll manifold in 3-D: intrinsic dimension 2 inside
+    ambient dimension 3 — a curved low-doubling-dimension testbed for
+    Assumption 1 (labels split the roll into inner/middle/outer
+    thirds by arc length)."""
+    rng = check_random_state(seed)
+    t = 1.5 * np.pi * (1.0 + 2.0 * rng.uniform(size=n))
+    height = 21.0 * rng.uniform(size=n)
+    points = np.column_stack([t * np.cos(t), height, t * np.sin(t)])
+    points = points + rng.normal(0.0, noise, size=points.shape)
+    thirds = np.quantile(t, [1.0 / 3.0, 2.0 / 3.0])
+    labels = np.digitize(t, thirds).astype(np.int64)
+    return points, labels
+
+
+# ----------------------------------------------------------------------
+
+
+def _split_sizes(n: int, k: int, rng: np.random.Generator) -> np.ndarray:
+    """Split ``n`` into ``k`` roughly equal positive parts."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    base = np.full(k, n // k, dtype=np.int64)
+    base[: n % k] += 1
+    return base
+
+
+def _shuffle(
+    points: np.ndarray, labels: np.ndarray, rng: np.random.Generator
+) -> Generated:
+    order = rng.permutation(points.shape[0])
+    return points[order], np.asarray(labels, dtype=np.int64)[order]

@@ -1,0 +1,39 @@
+"""Clustering-quality measures reported by the paper: ARI and AMI
+(Figures 4/5, Tables 3/4), plus NMI and the raw building blocks.
+Implemented from the original formulas — scikit-learn is not a
+dependency — and convention-matched to it (noise ``-1`` is one ordinary
+cluster; AMI uses arithmetic-mean normalization).
+"""
+
+from repro.evaluation.ami import (
+    adjusted_mutual_information,
+    expected_mutual_information,
+    normalized_mutual_information,
+)
+from repro.evaluation.ari import adjusted_rand_index, rand_index
+from repro.evaluation.contingency import (
+    contingency_table,
+    entropy,
+    mutual_information,
+)
+from repro.evaluation.vmeasure import (
+    homogeneity_completeness_v,
+    pair_confusion_matrix,
+    purity,
+    v_measure,
+)
+
+__all__ = [
+    "adjusted_rand_index",
+    "rand_index",
+    "adjusted_mutual_information",
+    "normalized_mutual_information",
+    "expected_mutual_information",
+    "contingency_table",
+    "entropy",
+    "mutual_information",
+    "homogeneity_completeness_v",
+    "v_measure",
+    "purity",
+    "pair_confusion_matrix",
+]

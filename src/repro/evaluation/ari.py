@@ -1,0 +1,62 @@
+"""Adjusted Rand Index (Hubert & Arabie 1985).
+
+The chance-corrected pair-counting agreement measure the paper reports
+in Figures 4/5 and Tables 3/4.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.evaluation.contingency import contingency_table
+
+
+def _comb2(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    return x * (x - 1.0) / 2.0
+
+
+def adjusted_rand_index(labels_a: Sequence[int], labels_b: Sequence[int]) -> float:
+    """ARI between two labelings (noise ``-1`` is one ordinary cluster).
+
+    Returns 1.0 for identical partitions, ~0 for random agreement; can
+    be negative for worse-than-chance agreement.
+
+    Examples
+    --------
+    >>> adjusted_rand_index([0, 0, 1, 1], [1, 1, 0, 0])
+    1.0
+    >>> adjusted_rand_index([0, 0, 1, 1], [0, 1, 0, 1]) < 0.5
+    True
+    """
+    table, rows, cols = contingency_table(labels_a, labels_b)
+    n = float(rows.sum())
+    if n < 2:
+        return 1.0
+    sum_comb = float(_comb2(table).sum())
+    sum_rows = float(_comb2(rows).sum())
+    sum_cols = float(_comb2(cols).sum())
+    total_pairs = n * (n - 1.0) / 2.0
+    expected = sum_rows * sum_cols / total_pairs
+    max_index = (sum_rows + sum_cols) / 2.0
+    denom = max_index - expected
+    if denom == 0.0:
+        # Both partitions are trivial (all-singletons or one cluster).
+        return 1.0 if sum_comb == max_index else 0.0
+    return float((sum_comb - expected) / denom)
+
+
+def rand_index(labels_a: Sequence[int], labels_b: Sequence[int]) -> float:
+    """Unadjusted Rand index (fraction of concordant point pairs)."""
+    table, rows, cols = contingency_table(labels_a, labels_b)
+    n = float(rows.sum())
+    if n < 2:
+        return 1.0
+    total_pairs = n * (n - 1.0) / 2.0
+    same_same = float(_comb2(table).sum())
+    same_a = float(_comb2(rows).sum())
+    same_b = float(_comb2(cols).sum())
+    agree = same_same + (total_pairs - same_a - same_b + same_same)
+    return float(agree / total_pairs)

@@ -1,0 +1,61 @@
+"""Contingency tables for clustering comparison measures.
+
+Noise points (label ``-1``) are treated as one ordinary cluster, the
+same convention scikit-learn's ARI/AMI implementations use, so scores
+are directly comparable to the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import ensure_labels_array
+
+
+def contingency_table(
+    labels_a: Sequence[int], labels_b: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Contingency matrix between two labelings of the same points.
+
+    Returns
+    -------
+    (table, sizes_a, sizes_b):
+        ``table[i, j]`` counts points in cluster ``i`` of the first
+        labeling and cluster ``j`` of the second; ``sizes_a``/``sizes_b``
+        are the row/column sums.
+    """
+    a = ensure_labels_array(labels_a)
+    b = ensure_labels_array(labels_b, n=a.shape[0])
+    _, a_idx = np.unique(a, return_inverse=True)
+    _, b_idx = np.unique(b, return_inverse=True)
+    n_a = int(a_idx.max()) + 1 if a.size else 0
+    n_b = int(b_idx.max()) + 1 if b.size else 0
+    table = np.zeros((n_a, n_b), dtype=np.int64)
+    np.add.at(table, (a_idx, b_idx), 1)
+    return table, table.sum(axis=1), table.sum(axis=0)
+
+
+def entropy(sizes: np.ndarray) -> float:
+    """Shannon entropy (nats) of a cluster-size vector."""
+    sizes = np.asarray(sizes, dtype=np.float64)
+    total = sizes.sum()
+    if total <= 0:
+        return 0.0
+    p = sizes[sizes > 0] / total
+    return float(-np.sum(p * np.log(p)))
+
+
+def mutual_information(table: np.ndarray) -> float:
+    """Mutual information (nats) of a contingency table."""
+    table = np.asarray(table, dtype=np.float64)
+    n = table.sum()
+    if n <= 0:
+        return 0.0
+    rows = table.sum(axis=1)
+    cols = table.sum(axis=0)
+    nonzero = table > 0
+    t = table[nonzero]
+    outer = np.outer(rows, cols)[nonzero]
+    return float(np.sum((t / n) * (np.log(t * n) - np.log(outer))))

@@ -1,0 +1,74 @@
+"""V-measure family (Rosenberg & Hirschberg 2007) and pair counting.
+
+Supplementary clustering measures beyond the paper's ARI/AMI:
+homogeneity (each cluster holds one class), completeness (each class
+sits in one cluster), their harmonic mean (V-measure), purity, and the
+raw pair-confusion matrix underlying the Rand family.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.evaluation.contingency import contingency_table, entropy, mutual_information
+
+
+def homogeneity_completeness_v(
+    labels_true: Sequence[int], labels_pred: Sequence[int], beta: float = 1.0
+) -> Tuple[float, float, float]:
+    """Homogeneity, completeness, and V_beta.
+
+    Conventions match scikit-learn: both scores are 1.0 when either
+    partition is degenerate in the favorable direction.
+    """
+    table, rows, cols = contingency_table(labels_true, labels_pred)
+    h_true, h_pred = entropy(rows), entropy(cols)
+    mi = mutual_information(table)
+    homogeneity = 1.0 if h_true == 0.0 else mi / h_true
+    completeness = 1.0 if h_pred == 0.0 else mi / h_pred
+    if homogeneity + completeness == 0.0:
+        v = 0.0
+    else:
+        v = (
+            (1.0 + beta)
+            * homogeneity
+            * completeness
+            / (beta * homogeneity + completeness)
+        )
+    return float(homogeneity), float(completeness), float(v)
+
+
+def v_measure(labels_true: Sequence[int], labels_pred: Sequence[int]) -> float:
+    """The harmonic mean of homogeneity and completeness."""
+    return homogeneity_completeness_v(labels_true, labels_pred)[2]
+
+
+def purity(labels_true: Sequence[int], labels_pred: Sequence[int]) -> float:
+    """Fraction of points in their cluster's majority class."""
+    table, rows, _ = contingency_table(labels_true, labels_pred)
+    n = rows.sum()
+    if n == 0:
+        return 1.0
+    return float(table.max(axis=0).sum() / n)
+
+
+def pair_confusion_matrix(
+    labels_a: Sequence[int], labels_b: Sequence[int]
+) -> np.ndarray:
+    """2x2 pair-confusion matrix (ordered-pair counts, as in sklearn).
+
+    ``[[TN, FP], [FN, TP]]`` where TP counts pairs co-clustered in both
+    labelings.
+    """
+    table, rows, cols = contingency_table(labels_a, labels_b)
+    n = float(rows.sum())
+    sum_sq = float((table.astype(np.float64) ** 2).sum())
+    sum_rows_sq = float((rows.astype(np.float64) ** 2).sum())
+    sum_cols_sq = float((cols.astype(np.float64) ** 2).sum())
+    tp = sum_sq - n
+    fp = sum_cols_sq - sum_sq
+    fn = sum_rows_sq - sum_sq
+    tn = n * n - n - tp - fp - fn
+    return np.array([[tn, fp], [fn, tp]], dtype=np.float64)

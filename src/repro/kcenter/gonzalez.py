@@ -1,0 +1,104 @@
+"""Classical Gonzalez k-center (Gonzalez 1985).
+
+Greedy farthest-point traversal: start anywhere, repeatedly add the
+point farthest from the chosen centers.  The realized covering radius
+is at most twice the optimum, and no polynomial algorithm can beat
+factor 2 unless P = NP (Hochbaum & Shmoys 1986) — the context the paper
+gives in Section 2 before introducing the radius-guided variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.metricspace.dataset import MetricDataset
+from repro.utils.rng import SeedLike, check_random_state
+
+
+@dataclass
+class KCenterResult:
+    """Output of a k-center run.
+
+    Attributes
+    ----------
+    centers:
+        Chosen center point indices, in selection order.
+    assignment:
+        For each point, the position (into ``centers``) of its nearest
+        center.
+    radius:
+        Realized covering radius ``max_p dis(p, centers)``.
+    distances:
+        Per-point distance to the assigned center.
+    """
+
+    centers: List[int]
+    assignment: np.ndarray
+    radius: float
+    distances: np.ndarray
+
+    @property
+    def k(self) -> int:
+        """Number of centers."""
+        return len(self.centers)
+
+    def clusters(self) -> List[np.ndarray]:
+        """Point indices grouped by assigned center."""
+        return [
+            np.flatnonzero(self.assignment == j) for j in range(self.k)
+        ]
+
+
+def gonzalez_kcenter(
+    dataset: MetricDataset,
+    k: int,
+    first_index: Optional[int] = None,
+    seed: SeedLike = 0,
+) -> KCenterResult:
+    """Greedy 2-approximate k-center clustering.
+
+    Parameters
+    ----------
+    dataset:
+        The metric space to cover.
+    k:
+        Number of centers (capped at ``n``).
+    first_index:
+        Starting point; randomly drawn from ``seed`` when omitted
+        (the approximation guarantee holds for any start).
+    seed:
+        RNG seed used only when ``first_index`` is None.
+
+    Notes
+    -----
+    Cost: ``O(k n)`` distance evaluations.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    n = dataset.n
+    k = min(k, n)
+    if first_index is None:
+        first_index = int(check_random_state(seed).integers(n))
+    if not 0 <= first_index < n:
+        raise ValueError(f"first_index {first_index} out of range for n={n}")
+
+    centers = [first_index]
+    dist_to_e = dataset.distances_from(first_index)
+    assignment = np.zeros(n, dtype=np.int64)
+    while len(centers) < k:
+        far = int(np.argmax(dist_to_e))
+        d_new = dataset.distances_from(far)
+        pos = len(centers)
+        centers.append(far)
+        closer = d_new < dist_to_e
+        assignment[closer] = pos
+        np.minimum(dist_to_e, d_new, out=dist_to_e)
+    return KCenterResult(
+        centers=centers,
+        assignment=assignment,
+        radius=float(dist_to_e.max()),
+        distances=dist_to_e,
+    )

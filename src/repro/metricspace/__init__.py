@@ -1,0 +1,46 @@
+"""Metric-space abstraction used by every algorithm in this package.
+
+The paper's algorithms are *metric-generic*: they only touch the data
+through a distance function ``dis(·,·)`` obeying the triangle inequality,
+and their complexity is stated in units of distance evaluations
+(``t_dis``).  This subpackage provides:
+
+- :class:`~repro.metricspace.base.Metric` — the distance-function
+  interface, with an optional vectorized batch path;
+- concrete metrics: Euclidean (and general Minkowski / Manhattan /
+  Chebyshev), cosine, Levenshtein edit distance (for the paper's text
+  experiments), Hamming, and Jaccard;
+- :class:`~repro.metricspace.counting.CountingMetric` — a wrapper that
+  counts distance evaluations so benches can verify the paper's
+  complexity claims independently of Python constant factors;
+- :class:`~repro.metricspace.dataset.MetricDataset` — points + metric
+  bundled behind an index-based API, which is what the solvers consume.
+"""
+
+from repro.metricspace.base import Metric
+from repro.metricspace.cosine import CosineMetric
+from repro.metricspace.counting import CountingMetric
+from repro.metricspace.dataset import MetricDataset
+from repro.metricspace.editdistance import EditDistanceMetric, levenshtein
+from repro.metricspace.euclidean import EuclideanMetric
+from repro.metricspace.hamming import HammingMetric
+from repro.metricspace.jaccard import JaccardMetric
+from repro.metricspace.minkowski import ChebyshevMetric, ManhattanMetric, MinkowskiMetric
+from repro.metricspace.precomputed import CachedMetric, PrecomputedMetric
+
+__all__ = [
+    "Metric",
+    "PrecomputedMetric",
+    "CachedMetric",
+    "EuclideanMetric",
+    "MinkowskiMetric",
+    "ManhattanMetric",
+    "ChebyshevMetric",
+    "CosineMetric",
+    "EditDistanceMetric",
+    "levenshtein",
+    "HammingMetric",
+    "JaccardMetric",
+    "CountingMetric",
+    "MetricDataset",
+]

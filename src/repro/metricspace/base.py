@@ -1,0 +1,89 @@
+"""The :class:`Metric` interface.
+
+A metric in this package is a distance function over *payloads* (the raw
+points: numpy rows, strings, sets, ...).  Algorithms never call metrics
+directly on payloads; they go through
+:class:`~repro.metricspace.dataset.MetricDataset`, which resolves integer
+indices to payloads and dispatches to the (possibly vectorized) methods
+defined here.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+import numpy as np
+
+
+class Metric(ABC):
+    """A distance function ``dis(a, b)`` satisfying the metric axioms.
+
+    Subclasses must implement :meth:`distance`.  Metrics over numpy
+    vectors should also override :meth:`distance_many` with a vectorized
+    implementation; the default is a Python loop.
+    """
+
+    #: Whether payloads are rows of a 2-D numpy array.  When ``True``,
+    #: :class:`MetricDataset` stores points as an ``(n, d)`` array and the
+    #: batch path receives array slices; when ``False`` payloads are
+    #: arbitrary Python objects held in a list.
+    is_vector_metric: bool = False
+
+    @abstractmethod
+    def distance(self, a: Any, b: Any) -> float:
+        """Distance between two payloads."""
+
+    def distance_many(self, a: Any, batch: Sequence[Any]) -> np.ndarray:
+        """Distances from payload ``a`` to every payload in ``batch``.
+
+        The default implementation loops; vector metrics override this
+        with a numpy-vectorized version.  Returns a float64 array with
+        one entry per element of ``batch``.
+        """
+        return np.array([self.distance(a, b) for b in batch], dtype=np.float64)
+
+    def pairwise(self, batch: Sequence[Any]) -> np.ndarray:
+        """Full symmetric pairwise distance matrix over ``batch``.
+
+        Quadratic in ``len(batch)``; intended for small sets (e.g. the
+        summary ``S*`` of Algorithm 2, or unit tests).
+        """
+        m = len(batch)
+        out = np.zeros((m, m), dtype=np.float64)
+        for i in range(m):
+            if i + 1 < m:
+                row = self.distance_many(batch[i], batch[i + 1 :])
+                out[i, i + 1 :] = row
+                out[i + 1 :, i] = row
+        return out
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+
+    def check_axioms(
+        self, sample: Sequence[Any], atol: float = 1e-9
+    ) -> None:
+        """Spot-check the metric axioms on a small sample of payloads.
+
+        Raises ``AssertionError`` on the first violated axiom.  This is a
+        debugging / testing aid, not a proof; it is quadratic (cubic for
+        the triangle inequality) in ``len(sample)``.
+        """
+        m = len(sample)
+        dmat = self.pairwise(sample)
+        for i in range(m):
+            assert abs(self.distance(sample[i], sample[i])) <= atol, (
+                f"d(x,x) != 0 at index {i}"
+            )
+            for j in range(m):
+                assert dmat[i, j] >= -atol, f"negative distance at ({i},{j})"
+                assert abs(dmat[i, j] - dmat[j, i]) <= atol, (
+                    f"asymmetric distance at ({i},{j})"
+                )
+        for i in range(m):
+            for j in range(m):
+                for k in range(m):
+                    assert dmat[i, k] <= dmat[i, j] + dmat[j, k] + atol, (
+                        f"triangle inequality violated at ({i},{j},{k})"
+                    )

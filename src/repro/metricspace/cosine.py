@@ -1,0 +1,47 @@
+"""Angular (cosine-based) metric.
+
+The common "cosine distance" ``1 - cos(a, b)`` violates the triangle
+inequality, which the paper's algorithms rely on (Lemma 2 is a pure
+triangle-inequality argument).  We therefore expose the *angular*
+distance ``arccos(cos(a, b))`` in radians, which is a true metric on the
+unit sphere — appropriate for GloVe-style embedding workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metricspace.base import Metric
+
+
+def _safe_unit(v: np.ndarray) -> np.ndarray:
+    v = np.asarray(v, dtype=np.float64)
+    norm = np.linalg.norm(v)
+    if norm == 0.0:
+        raise ValueError("angular distance is undefined for the zero vector")
+    return v / norm
+
+
+class CosineMetric(Metric):
+    """Angular distance in radians: ``d(a,b) = arccos(<a,b>/|a||b|)``.
+
+    Range is ``[0, π]``.  Zero vectors are rejected.
+    """
+
+    is_vector_metric = True
+
+    def distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        ua, ub = _safe_unit(a), _safe_unit(b)
+        cos = float(np.clip(np.dot(ua, ub), -1.0, 1.0))
+        return float(np.arccos(cos))
+
+    def distance_many(self, a: np.ndarray, batch: np.ndarray) -> np.ndarray:
+        batch = np.asarray(batch, dtype=np.float64)
+        if batch.ndim == 1:
+            batch = batch.reshape(1, -1)
+        ua = _safe_unit(a)
+        norms = np.linalg.norm(batch, axis=1)
+        if np.any(norms == 0.0):
+            raise ValueError("angular distance is undefined for the zero vector")
+        cos = np.clip((batch @ ua) / norms, -1.0, 1.0)
+        return np.arccos(cos)

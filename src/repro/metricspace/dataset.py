@@ -1,0 +1,146 @@
+"""Index-based dataset view: points + metric.
+
+All solvers in :mod:`repro.core` and :mod:`repro.baselines` address points
+by integer index ``0..n-1`` through this class, so payloads (numpy rows,
+strings, sets) are never copied around and the distance-counting wrapper
+sees every evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.metricspace.base import Metric
+from repro.metricspace.counting import CountingMetric
+from repro.metricspace.euclidean import EuclideanMetric
+
+IndexArray = Union[Sequence[int], np.ndarray]
+
+
+class MetricDataset:
+    """A finite metric space ``(X, dis)`` addressed by integer indices.
+
+    Parameters
+    ----------
+    points:
+        For vector metrics an array-like of shape ``(n, d)``; otherwise
+        any sequence of payload objects (strings, sets, ...).
+    metric:
+        The distance function.  Defaults to :class:`EuclideanMetric`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> ds = MetricDataset(np.array([[0.0], [3.0], [7.0]]))
+    >>> ds.n
+    3
+    >>> ds.distance(0, 1)
+    3.0
+    >>> list(ds.distances_from(0))
+    [0.0, 3.0, 7.0]
+    """
+
+    def __init__(self, points: Any, metric: Optional[Metric] = None) -> None:
+        self.metric = metric if metric is not None else EuclideanMetric()
+        if self.metric.is_vector_metric:
+            arr = np.asarray(points, dtype=np.float64)
+            if arr.ndim == 1:
+                arr = arr.reshape(-1, 1)
+            if arr.ndim != 2:
+                raise ValueError(
+                    f"vector data must be 2-dimensional, got shape {arr.shape}"
+                )
+            self._points: Any = arr
+            self._n = arr.shape[0]
+        else:
+            self._points = list(points)
+            self._n = len(self._points)
+        if self._n == 0:
+            raise ValueError("MetricDataset requires at least one point")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+
+    @property
+    def n(self) -> int:
+        """Number of points."""
+        return self._n
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def points(self) -> Any:
+        """The underlying payload container (array or list)."""
+        return self._points
+
+    def point(self, i: int) -> Any:
+        """Payload of point ``i``."""
+        return self._points[i]
+
+    def gather(self, indices: IndexArray) -> Any:
+        """Payloads at ``indices`` (array slice for vector data, list
+        otherwise)."""
+        if self.metric.is_vector_metric:
+            return self._points[np.asarray(indices, dtype=np.intp)]
+        return [self._points[int(i)] for i in indices]
+
+    # ------------------------------------------------------------------
+    # Distances
+
+    def distance(self, i: int, j: int) -> float:
+        """Distance between points ``i`` and ``j``."""
+        return self.metric.distance(self._points[i], self._points[j])
+
+    def distances_from(
+        self, i: int, indices: Optional[IndexArray] = None
+    ) -> np.ndarray:
+        """Distances from point ``i`` to each point in ``indices``.
+
+        ``indices=None`` means all ``n`` points.  Uses the metric's
+        (possibly vectorized) batch path.
+        """
+        return self.distances_point(self._points[i], indices)
+
+    def distances_point(
+        self, payload: Any, indices: Optional[IndexArray] = None
+    ) -> np.ndarray:
+        """Distances from an arbitrary query payload to points of the set."""
+        if indices is None:
+            batch = self._points
+        else:
+            batch = self.gather(indices)
+        if len(batch) == 0:
+            return np.empty(0, dtype=np.float64)
+        return self.metric.distance_many(payload, batch)
+
+    def pairwise(self, indices: Optional[IndexArray] = None) -> np.ndarray:
+        """Pairwise distance matrix over ``indices`` (all points if None).
+
+        Quadratic — intended for small index sets such as Algorithm 2's
+        summary ``S*``.
+        """
+        batch = self._points if indices is None else self.gather(indices)
+        return self.metric.pairwise(batch)
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+
+    def with_counting(self) -> "MetricDataset":
+        """A view of this dataset whose metric counts distance evaluations.
+
+        The returned dataset shares the payload container; read the
+        counter via ``dataset.metric.count``.
+        """
+        if isinstance(self.metric, CountingMetric):
+            return self
+        counted = MetricDataset.__new__(MetricDataset)
+        counted.metric = CountingMetric(self.metric)
+        counted._points = self._points
+        counted._n = self._n
+        return counted
+
+    def __repr__(self) -> str:
+        return f"MetricDataset(n={self._n}, metric={type(self.metric).__name__})"

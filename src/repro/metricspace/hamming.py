@@ -1,0 +1,35 @@
+"""Hamming distance over equal-length sequences (strings or int vectors).
+
+A metric on any fixed-length alphabet; useful for binary-code and
+categorical workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.metricspace.base import Metric
+
+Payload = Union[str, Sequence[int], np.ndarray]
+
+
+class HammingMetric(Metric):
+    """Number of positions at which two equal-length sequences differ."""
+
+    is_vector_metric = False
+
+    def distance(self, a: Payload, b: Payload) -> float:
+        if len(a) != len(b):
+            raise ValueError(
+                f"Hamming distance requires equal lengths, got {len(a)} and {len(b)}"
+            )
+        if isinstance(a, str) and isinstance(b, str):
+            return float(sum(ca != cb for ca, cb in zip(a, b)))
+        arr_a = np.asarray(a)
+        arr_b = np.asarray(b)
+        return float(np.count_nonzero(arr_a != arr_b))
+
+    def distance_many(self, a: Payload, batch: Sequence[Payload]) -> np.ndarray:
+        return np.array([self.distance(a, b) for b in batch], dtype=np.float64)

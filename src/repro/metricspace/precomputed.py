@@ -1,0 +1,123 @@
+"""Precomputed and cached metrics.
+
+:class:`PrecomputedMetric` serves distances from an explicit symmetric
+matrix — payloads are integer indices.  Useful for unit tests, for tiny
+abstract metric spaces given as tables, and for replaying expensive
+distances (e.g. edit distances computed once).
+
+:class:`CachedMetric` memoizes pair distances of an inner metric; pays
+off when the same pairs are queried repeatedly (the exact solver's
+Step (1) and Step (3) re-query overlapping candidate sets) and the
+inner metric is expensive, e.g. Levenshtein on long strings.  Payloads
+must be hashable (strings, tuples, frozensets).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.metricspace.base import Metric
+
+
+class PrecomputedMetric(Metric):
+    """Distances from an explicit ``(n, n)`` matrix; payloads are indices.
+
+    Parameters
+    ----------
+    matrix:
+        Symmetric non-negative matrix with zero diagonal.  Validated at
+        construction (set ``validate=False`` to skip for large inputs).
+    validate:
+        Check symmetry / non-negativity / zero diagonal (the triangle
+        inequality is *not* checked — use :meth:`Metric.check_axioms`
+        for a spot check).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> m = PrecomputedMetric(np.array([[0.0, 2.0], [2.0, 0.0]]))
+    >>> m.distance(0, 1)
+    2.0
+    """
+
+    is_vector_metric = False
+
+    def __init__(self, matrix: np.ndarray, validate: bool = True) -> None:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"matrix must be square, got shape {matrix.shape}")
+        if validate:
+            if not np.allclose(matrix, matrix.T):
+                raise ValueError("distance matrix must be symmetric")
+            if np.any(matrix < 0):
+                raise ValueError("distances must be non-negative")
+            if np.any(np.diag(matrix) != 0):
+                raise ValueError("the diagonal must be zero")
+        self.matrix = matrix
+
+    @property
+    def n(self) -> int:
+        """Number of indexable points."""
+        return self.matrix.shape[0]
+
+    def indices(self) -> list:
+        """The payload list (``[0, 1, ..., n-1]``) for MetricDataset."""
+        return list(range(self.n))
+
+    def distance(self, a: int, b: int) -> float:
+        return float(self.matrix[int(a), int(b)])
+
+    def distance_many(self, a: int, batch: Sequence[int]) -> np.ndarray:
+        return self.matrix[int(a), np.asarray(batch, dtype=np.intp)].astype(
+            np.float64
+        )
+
+    def pairwise(self, batch: Sequence[int]) -> np.ndarray:
+        idx = np.asarray(batch, dtype=np.intp)
+        return self.matrix[np.ix_(idx, idx)].astype(np.float64)
+
+
+class CachedMetric(Metric):
+    """Memoizing wrapper around an expensive metric.
+
+    Pair distances are stored under an order-normalized key, so
+    ``d(a, b)`` and ``d(b, a)`` share one entry.  The cache grows
+    unboundedly; call :meth:`clear` between datasets.
+    """
+
+    def __init__(self, inner: Metric) -> None:
+        self.inner = inner
+        self.is_vector_metric = inner.is_vector_metric
+        self._cache: Dict[Tuple[Any, Any], float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def clear(self) -> None:
+        """Empty the cache and reset the hit/miss counters."""
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(a: Any, b: Any) -> Tuple[Any, Any]:
+        try:
+            return (a, b) if a <= b else (b, a)
+        except TypeError:
+            # Unorderable payloads: fall back to a canonical hash order.
+            return (a, b) if hash(a) <= hash(b) else (b, a)
+
+    def distance(self, a: Any, b: Any) -> float:
+        key = self._key(a, b)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        value = self.inner.distance(a, b)
+        self._cache[key] = value
+        return value
+
+    def distance_many(self, a: Any, batch: Sequence[Any]) -> np.ndarray:
+        return np.array([self.distance(a, b) for b in batch], dtype=np.float64)

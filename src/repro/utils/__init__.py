@@ -1,0 +1,26 @@
+"""Small shared utilities: union-find, RNG handling, timing, validation.
+
+These are substrates used across the core algorithms, baselines, and the
+benchmark harness.  They have no dependency on the rest of the package.
+"""
+
+from repro.utils.rng import check_random_state
+from repro.utils.timer import Stopwatch, TimingBreakdown
+from repro.utils.unionfind import UnionFind
+from repro.utils.validation import (
+    check_epsilon,
+    check_min_pts,
+    check_rho,
+    ensure_labels_array,
+)
+
+__all__ = [
+    "UnionFind",
+    "check_random_state",
+    "Stopwatch",
+    "TimingBreakdown",
+    "check_epsilon",
+    "check_min_pts",
+    "check_rho",
+    "ensure_labels_array",
+]

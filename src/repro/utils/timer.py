@@ -1,0 +1,100 @@
+"""Timing helpers used by the algorithms' instrumentation and the benches.
+
+The paper's Table 2 reports the fraction of total runtime spent inside the
+radius-guided Gonzalez preprocessing.  To reproduce that split faithfully,
+the exact and approximate solvers record a named :class:`TimingBreakdown`
+while running.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+from contextlib import contextmanager
+
+
+@dataclass
+class Stopwatch:
+    """A simple cumulative stopwatch.
+
+    Examples
+    --------
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     pass
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _started_at: float | None = None
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("Stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("Stopwatch is not running")
+        delta = time.perf_counter() - self._started_at
+        self.elapsed += delta
+        self._started_at = None
+        return delta
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+@dataclass
+class TimingBreakdown:
+    """Named cumulative phase timings for one solver run.
+
+    Attributes
+    ----------
+    phases:
+        Mapping from phase name (e.g. ``"gonzalez"``, ``"label_cores"``,
+        ``"merge"``, ``"label_borders"``) to cumulative seconds.
+    """
+
+    phases: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager accumulating wall-clock time into ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.phases[name] = self.phases.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded phases, in seconds."""
+        return sum(self.phases.values())
+
+    def fraction(self, name: str) -> float:
+        """Fraction of the total time spent in phase ``name``.
+
+        Returns 0.0 when nothing has been recorded yet.
+        """
+        total = self.total
+        if total == 0.0:
+            return 0.0
+        return self.phases.get(name, 0.0) / total
+
+    def merge(self, other: "TimingBreakdown") -> None:
+        """Accumulate another breakdown's phases into this one."""
+        for name, seconds in other.phases.items():
+            self.phases[name] = self.phases.get(name, 0.0) + seconds
+
+    def as_dict(self) -> Dict[str, float]:
+        """Copy of the phase map (safe to mutate)."""
+        return dict(self.phases)

@@ -1,0 +1,60 @@
+"""Parameter validation shared by the solvers and baselines.
+
+Centralizing these checks keeps error messages uniform and the solver
+bodies free of boilerplate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def check_epsilon(epsilon: float) -> float:
+    """Validate the DBSCAN radius parameter ``ε > 0``."""
+    eps = float(epsilon)
+    if not np.isfinite(eps) or eps <= 0.0:
+        raise ValueError(f"epsilon must be a positive finite number, got {epsilon!r}")
+    return eps
+
+
+def check_min_pts(min_pts: int) -> int:
+    """Validate the DBSCAN density threshold ``MinPts >= 1``."""
+    if int(min_pts) != min_pts:
+        raise ValueError(f"min_pts must be an integer, got {min_pts!r}")
+    value = int(min_pts)
+    if value < 1:
+        raise ValueError(f"min_pts must be >= 1, got {value}")
+    return value
+
+
+def check_rho(rho: float) -> float:
+    """Validate the approximation parameter ``ρ > 0``.
+
+    The paper analyzes ``ρ <= 2`` (Theorem 3) but notes the analysis
+    extends beyond; we therefore accept any positive ρ and let callers
+    warn if they rely on the ``ρ <= 2`` memory bound.
+    """
+    value = float(rho)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValueError(f"rho must be a positive finite number, got {rho!r}")
+    return value
+
+
+def ensure_labels_array(labels: Sequence[int], n: int | None = None) -> np.ndarray:
+    """Coerce a label sequence into an ``int64`` numpy array.
+
+    Parameters
+    ----------
+    labels:
+        Cluster labels; noise is ``-1``.
+    n:
+        If given, assert the label vector has exactly this length.
+    """
+    arr = np.asarray(labels, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError(f"labels must be 1-dimensional, got shape {arr.shape}")
+    if n is not None and arr.shape[0] != n:
+        raise ValueError(f"expected {n} labels, got {arr.shape[0]}")
+    return arr

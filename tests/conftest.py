@@ -1,0 +1,67 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import collections
+from typing import FrozenSet, Sequence, Set
+
+import numpy as np
+import pytest
+
+from repro.metricspace import EditDistanceMetric, MetricDataset
+
+
+def core_partition(labels: Sequence[int], mask: Sequence[bool]) -> Set[FrozenSet[int]]:
+    """The partition induced on the masked (core) points, as a set of
+    frozensets — the canonical object for comparing DBSCAN outputs,
+    since core-point clustering is unique while border attribution is
+    not (Definition 1 footnote)."""
+    groups = collections.defaultdict(set)
+    labels = np.asarray(labels)
+    for i in np.flatnonzero(np.asarray(mask, dtype=bool)):
+        groups[int(labels[i])].add(int(i))
+    return {frozenset(g) for g in groups.values()}
+
+
+def same_cluster_pairs(labels: Sequence[int], indices: Sequence[int]) -> Set:
+    """Set of index pairs co-clustered (noise never co-clusters)."""
+    labels = np.asarray(labels)
+    out = set()
+    idx = list(indices)
+    for a_pos in range(len(idx)):
+        for b_pos in range(a_pos + 1, len(idx)):
+            a, b = idx[a_pos], idx[b_pos]
+            if labels[a] >= 0 and labels[a] == labels[b]:
+                out.add((min(a, b), max(a, b)))
+    return out
+
+
+@pytest.fixture
+def two_blobs():
+    """A small well-separated 2-cluster instance with one far outlier."""
+    rng = np.random.default_rng(42)
+    a = rng.normal(0.0, 0.2, size=(40, 2))
+    b = rng.normal(6.0, 0.2, size=(40, 2))
+    outlier = np.array([[50.0, 50.0]])
+    points = np.vstack([a, b, outlier])
+    return MetricDataset(points), np.concatenate(
+        [np.zeros(40), np.ones(40), [-1]]
+    ).astype(np.int64)
+
+
+@pytest.fixture
+def tiny_line():
+    """Seven points on a line: two tight groups and one isolated point."""
+    pts = np.array([[0.0], [0.1], [0.2], [5.0], [5.1], [5.2], [99.0]])
+    return MetricDataset(pts)
+
+
+@pytest.fixture
+def text_dataset():
+    """A tiny edit-distance dataset with two obvious string clusters."""
+    strings = [
+        "abcdefgh", "abcdefgx", "abcdefg", "abcdefghi",
+        "zzzyyyxxx", "zzzyyyxx", "zzzyyyxxxq", "zzzyyyxxz",
+        "qqqqqqqqqqqqqqqqqqqq",
+    ]
+    return MetricDataset(strings, EditDistanceMetric()), strings

@@ -1,0 +1,217 @@
+"""Tests for the non-DBSCAN baselines of Table 3: k-means substrate,
+DP-means, BICO, Density-peak, and Mean shift."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BICO,
+    DPMeans,
+    DensityPeak,
+    MeanShift,
+    estimate_bandwidth,
+    kmeans,
+    lambda_from_kcenter,
+)
+from repro.evaluation import adjusted_rand_index
+from repro.metricspace import EditDistanceMetric, MetricDataset
+
+
+def blob_points(seed=0, k=3, n_per=40, std=0.3, spread=8.0, dim=2):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-spread, spread, size=(k, dim))
+    pts = np.vstack([
+        rng.normal(centers[c], std, size=(n_per, dim)) for c in range(k)
+    ])
+    labels = np.repeat(np.arange(k), n_per)
+    return pts, labels
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        pts, y = blob_points(seed=1)
+        result = kmeans(pts, 3, seed=0)
+        assert adjusted_rand_index(y, result.labels) > 0.95
+
+    def test_weighted_centroid(self):
+        pts = np.array([[0.0], [10.0]])
+        result = kmeans(pts, 1, weights=np.array([3.0, 1.0]), seed=0)
+        assert result.centers[0, 0] == pytest.approx(2.5)
+
+    def test_k_capped_at_n(self):
+        pts = np.array([[0.0], [1.0]])
+        result = kmeans(pts, 10, seed=0)
+        assert result.centers.shape[0] == 2
+
+    def test_inertia_nonincreasing_in_k(self):
+        pts, _ = blob_points(seed=2)
+        i2 = kmeans(pts, 2, seed=0).inertia
+        i6 = kmeans(pts, 6, seed=0).inertia
+        assert i6 <= i2 + 1e-9
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans(np.empty((0, 2)), 2)
+
+    def test_deterministic(self):
+        pts, _ = blob_points(seed=3)
+        a = kmeans(pts, 3, seed=5)
+        b = kmeans(pts, 3, seed=5)
+        assert np.array_equal(a.labels, b.labels)
+
+
+class TestDPMeans:
+    def test_recovers_separated_blobs(self):
+        pts, y = blob_points(seed=4)
+        result = DPMeans(lam=3.0).fit(MetricDataset(pts))
+        assert adjusted_rand_index(y, result.labels) > 0.9
+
+    def test_lambda_heuristic(self):
+        pts, _ = blob_points(seed=5)
+        ds = MetricDataset(pts)
+        lam = lambda_from_kcenter(ds, 8, seed=0)
+        assert lam > 0.0
+        result = DPMeans(kcenter_k=8, seed=0).fit(ds)
+        assert result.stats["lambda"] > 0.0
+
+    def test_large_lambda_single_cluster(self):
+        pts, _ = blob_points(seed=6)
+        result = DPMeans(lam=1e6).fit(MetricDataset(pts))
+        assert result.n_clusters == 1
+
+    def test_small_lambda_many_clusters(self):
+        pts, _ = blob_points(seed=7)
+        result = DPMeans(lam=0.05).fit(MetricDataset(pts))
+        assert result.n_clusters > 10
+
+    def test_requires_euclidean(self):
+        ds = MetricDataset(["ab", "cd"], EditDistanceMetric())
+        with pytest.raises(ValueError):
+            DPMeans(lam=1.0).fit(ds)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DPMeans(lam=-1.0)
+
+
+class TestBICO:
+    def test_recovers_separated_blobs(self):
+        pts, y = blob_points(seed=8)
+        result = BICO(n_clusters=3, coreset_size=60, seed=0).fit(MetricDataset(pts))
+        assert adjusted_rand_index(y, result.labels) > 0.9
+
+    def test_coreset_bounded(self):
+        pts, _ = blob_points(seed=9, n_per=200)
+        bico = BICO(n_clusters=3, coreset_size=50, seed=0)
+        bico.fit(MetricDataset(pts))
+        assert len(bico._features) <= 50
+
+    def test_coreset_weights_sum_to_n(self):
+        pts, _ = blob_points(seed=10)
+        bico = BICO(n_clusters=3, coreset_size=40, seed=0)
+        bico.fit(MetricDataset(pts))
+        _, weights = bico.coreset()
+        assert weights.sum() == pytest.approx(pts.shape[0])
+
+    def test_fit_stream_two_passes(self):
+        from repro.datasets import ReplayStream
+
+        pts, _ = blob_points(seed=11)
+        stream = ReplayStream(pts)
+        result = BICO(n_clusters=3, coreset_size=40, seed=0).fit_stream(stream)
+        assert stream.passes_started == 2
+        assert result.labels.shape[0] == pts.shape[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BICO(n_clusters=0)
+        with pytest.raises(ValueError):
+            BICO(n_clusters=2, coreset_size=1)
+
+    def test_empty_coreset_rejected(self):
+        with pytest.raises(ValueError):
+            BICO(n_clusters=2).coreset()
+
+
+class TestDensityPeak:
+    def test_recovers_separated_blobs(self):
+        pts, y = blob_points(seed=12)
+        result = DensityPeak(n_clusters=3, halo=False).fit(MetricDataset(pts))
+        assert adjusted_rand_index(y, result.labels) > 0.9
+
+    def test_auto_k_reasonable(self):
+        pts, y = blob_points(seed=13, k=2, n_per=60)
+        result = DensityPeak(halo=False).fit(MetricDataset(pts))
+        assert 1 <= result.stats["n_peaks"] <= 6
+
+    def test_halo_rule_demotes_boundary_points(self):
+        """Unit check of the halo rule on a hand-built configuration:
+        a low-density point sitting within d_c of the other cluster must
+        be demoted when its density falls below the border density."""
+        # Points 1 and 3 are the touching boundary pair (distance 0.3),
+        # everything else is far apart.
+        dmat = np.full((4, 4), 5.0)
+        np.fill_diagonal(dmat, 0.0)
+        dmat[1, 3] = dmat[3, 1] = 0.3
+        rho = np.array([5.0, 1.0, 5.0, 2.0])
+        labels = np.array([0, 0, 1, 1], dtype=np.int64)
+        out = DensityPeak._apply_halo(dmat, rho, labels, d_c=0.5)
+        # Border density is (1+2)/2 = 1.5 for both clusters: point 1
+        # (rho 1 < 1.5) is demoted, point 3 (rho 2 >= 1.5) survives.
+        assert out.tolist() == [0, -1, 1, 1]
+
+    def test_halo_noop_when_clusters_apart(self):
+        dmat = np.full((4, 4), 5.0)
+        np.fill_diagonal(dmat, 0.0)
+        rho = np.array([5.0, 1.0, 5.0, 2.0])
+        labels = np.array([0, 0, 1, 1], dtype=np.int64)
+        out = DensityPeak._apply_halo(dmat, rho, labels, d_c=0.5)
+        assert out.tolist() == labels.tolist()
+
+    def test_works_on_text_metric(self, text_dataset):
+        ds, _ = text_dataset
+        result = DensityPeak(n_clusters=2, halo=False).fit(ds)
+        assert result.n_clusters == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DensityPeak(d_c=-1.0)
+        with pytest.raises(ValueError):
+            DensityPeak(neighbor_fraction=2.0)
+
+
+class TestMeanShift:
+    def test_recovers_separated_blobs(self):
+        pts, y = blob_points(seed=15)
+        result = MeanShift(bandwidth=1.5).fit(MetricDataset(pts))
+        assert adjusted_rand_index(y, result.labels) > 0.9
+
+    def test_bandwidth_estimation(self):
+        pts, _ = blob_points(seed=16)
+        h = estimate_bandwidth(pts, seed=0)
+        assert h > 0.0
+
+    def test_seed_fraction(self):
+        pts, y = blob_points(seed=17)
+        result = MeanShift(bandwidth=1.5, seed_fraction=0.3, seed=0).fit(
+            MetricDataset(pts)
+        )
+        assert adjusted_rand_index(y, result.labels) > 0.8
+
+    def test_no_noise_labels(self):
+        pts, _ = blob_points(seed=18)
+        result = MeanShift(bandwidth=1.5).fit(MetricDataset(pts))
+        assert result.n_noise == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeanShift(bandwidth=0.0)
+        with pytest.raises(ValueError):
+            MeanShift(seed_fraction=0.0)
+        with pytest.raises(ValueError):
+            estimate_bandwidth(np.zeros((3, 2)), quantile=0.0)
+
+    def test_requires_euclidean(self):
+        ds = MetricDataset(["ab", "cd"], EditDistanceMetric())
+        with pytest.raises(ValueError):
+            MeanShift(bandwidth=1.0).fit(ds)

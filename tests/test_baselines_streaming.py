@@ -1,0 +1,136 @@
+"""Tests for the streaming baselines of Table 4: DBStream, D-Stream,
+evoStream."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DBStream, DStream, EvoStream
+from repro.datasets import ReplayStream
+from repro.evaluation import adjusted_rand_index
+from repro.metricspace import EditDistanceMetric, MetricDataset
+
+
+def blob_stream(seed=0, k=2, n_per=150, std=0.25, dim=2):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-6.0, 6.0, size=(k, dim))
+    # Interleave clusters so the stream is stationary.
+    pts = np.vstack([rng.normal(centers[c], std, size=(n_per, dim)) for c in range(k)])
+    labels = np.repeat(np.arange(k), n_per)
+    order = rng.permutation(pts.shape[0])
+    return pts[order], labels[order]
+
+
+class TestDBStream:
+    def test_recovers_blobs(self):
+        pts, y = blob_stream(seed=1)
+        result = DBStream(radius=0.5, w_min=1.5).fit(MetricDataset(pts))
+        assert adjusted_rand_index(y, result.labels) > 0.7
+
+    def test_micro_clusters_bounded(self):
+        pts, _ = blob_stream(seed=2, n_per=400)
+        model = DBStream(radius=0.5)
+        model.fit(MetricDataset(pts))
+        assert len(model._centers) < pts.shape[0] / 4
+
+    def test_far_point_is_noise(self):
+        pts, _ = blob_stream(seed=3)
+        pts = np.vstack([pts, [[99.0, 99.0]]])
+        result = DBStream(radius=0.5, w_min=1.5).fit(MetricDataset(pts))
+        assert result.labels[-1] == -1
+
+    def test_two_pass_protocol(self):
+        pts, _ = blob_stream(seed=4)
+        stream = ReplayStream(pts)
+        DBStream(radius=0.5).fit_stream(stream)
+        assert stream.passes_started == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DBStream(radius=0.0)
+        with pytest.raises(ValueError):
+            DBStream(radius=1.0, decay=-0.1)
+
+    def test_requires_euclidean(self):
+        ds = MetricDataset(["ab", "cd"], EditDistanceMetric())
+        with pytest.raises(ValueError):
+            DBStream(radius=1.0).fit(ds)
+
+
+class TestDStream:
+    def test_recovers_blobs(self):
+        pts, y = blob_stream(seed=5, std=0.3)
+        result = DStream(cell_size=0.4, c_m=2.0, c_l=0.5).fit(MetricDataset(pts))
+        assert adjusted_rand_index(y, result.labels) > 0.6
+
+    def test_sparse_cells_are_noise(self):
+        pts, _ = blob_stream(seed=6)
+        pts = np.vstack([pts, [[77.0, -77.0]]])
+        result = DStream(cell_size=0.4, c_m=2.0, c_l=0.5).fit(MetricDataset(pts))
+        assert result.labels[-1] == -1
+
+    def test_memory_is_cell_count(self):
+        pts, _ = blob_stream(seed=7)
+        result = DStream(cell_size=0.4).fit(MetricDataset(pts))
+        assert result.stats["memory_points"] == result.stats["n_cells"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DStream(cell_size=0.0)
+        with pytest.raises(ValueError):
+            DStream(cell_size=1.0, decay=1.5)
+        with pytest.raises(ValueError):
+            DStream(cell_size=1.0, c_m=1.0, c_l=2.0)
+
+    def test_degenerates_in_high_dimension(self):
+        """Each point lands in its own cell -> nothing dense -> mostly
+        noise.  This is the qualitative Table-4 behaviour."""
+        rng = np.random.default_rng(8)
+        pts = rng.normal(size=(100, 50))
+        result = DStream(cell_size=0.5).fit(MetricDataset(pts))
+        assert result.n_noise > 50
+
+
+class TestEvoStream:
+    def test_recovers_blobs(self):
+        pts, y = blob_stream(seed=9)
+        result = EvoStream(
+            n_clusters=2, radius=0.5, generations=150, seed=0
+        ).fit(MetricDataset(pts))
+        assert adjusted_rand_index(y, result.labels) > 0.7
+
+    def test_evolution_improves_fitness(self):
+        pts, _ = blob_stream(seed=10, k=3)
+        model = EvoStream(n_clusters=3, radius=0.5, generations=0, seed=0)
+        for p in pts:
+            model.partial_fit(p)
+        mc, w, _ = model._strong_micro()
+        base = max(
+            model._fitness(mc[np.random.default_rng(0).choice(len(mc), 3, replace=False)], mc, w)
+            for _ in range(3)
+        )
+        evolved_model = EvoStream(n_clusters=3, radius=0.5, generations=300, seed=0)
+        for p in pts:
+            evolved_model.partial_fit(p)
+        best = evolved_model.evolve()
+        assert evolved_model._fitness(best, mc, w) >= base * 0.99
+
+    def test_deterministic(self):
+        pts, _ = blob_stream(seed=11)
+        a = EvoStream(n_clusters=2, radius=0.5, generations=50, seed=7).fit(
+            MetricDataset(pts)
+        )
+        b = EvoStream(n_clusters=2, radius=0.5, generations=50, seed=7).fit(
+            MetricDataset(pts)
+        )
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EvoStream(n_clusters=0, radius=1.0)
+        with pytest.raises(ValueError):
+            EvoStream(n_clusters=2, radius=-1.0)
+
+    def test_requires_euclidean(self):
+        ds = MetricDataset(["ab", "cd"], EditDistanceMetric())
+        with pytest.raises(ValueError):
+            EvoStream(n_clusters=2, radius=1.0).fit(ds)

@@ -1,0 +1,68 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestDatasets:
+    def test_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("moons", "mnist", "ag_news", "glove25"):
+            assert name in out
+
+
+class TestCluster:
+    def test_exact_run(self, capsys):
+        code = main([
+            "cluster", "--dataset", "moons", "--algo", "exact",
+            "--eps", "0.12", "--size", "300",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "clusters" in out
+        assert "ARI" in out
+
+    def test_default_eps_from_registry(self, capsys):
+        code = main([
+            "cluster", "--dataset", "moons", "--algo", "dbscan", "--size", "200",
+        ])
+        assert code == 0
+        assert "suggested range" in capsys.readouterr().out
+
+    def test_approx_run(self, capsys):
+        code = main([
+            "cluster", "--dataset", "moons", "--algo", "approx",
+            "--eps", "0.12", "--size", "300", "--rho", "0.5",
+        ])
+        assert code == 0
+        assert "rho=0.5" in capsys.readouterr().out
+
+    def test_streaming_run(self, capsys):
+        code = main([
+            "cluster", "--dataset", "moons", "--algo", "streaming",
+            "--eps", "0.12", "--size", "300",
+        ])
+        assert code == 0
+        assert "memory_ratio" in capsys.readouterr().out
+
+    def test_text_dataset(self, capsys):
+        code = main([
+            "cluster", "--dataset", "cola", "--algo", "approx",
+            "--eps", "9", "--size", "80",
+        ])
+        assert code == 0
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--dataset", "imagenet"])
+
+    def test_unknown_algo_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--dataset", "moons", "--algo", "kmeans"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,185 @@
+"""Cover tree tests: invariants, query correctness vs brute force,
+duplicates, level nets, and a hypothesis property sweep."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.covertree import CoverTree
+from repro.metricspace import EditDistanceMetric, EuclideanMetric, MetricDataset
+
+
+def brute_nearest(ds, q):
+    d = ds.distances_point(q)
+    i = int(np.argmin(d))
+    return i, float(d[i])
+
+
+class TestConstruction:
+    def test_single_point(self):
+        tree = CoverTree(MetricDataset(np.array([[1.0, 2.0]])))
+        assert tree.size == 1
+        assert tree.root_index == 0
+
+    def test_size_counts_all(self):
+        rng = np.random.default_rng(0)
+        ds = MetricDataset(rng.normal(size=(50, 2)))
+        tree = CoverTree(ds)
+        assert tree.size == 50
+        assert sorted(tree.all_indices()) == list(range(50))
+
+    def test_duplicates_stored(self):
+        pts = np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 1.0], [0.0, 0.0]])
+        tree = CoverTree(MetricDataset(pts))
+        assert tree.size == 4
+        assert sorted(tree.all_indices()) == [0, 1, 2, 3]
+
+    def test_subset_indices(self):
+        rng = np.random.default_rng(1)
+        ds = MetricDataset(rng.normal(size=(20, 2)))
+        tree = CoverTree(ds, indices=[3, 7, 11])
+        assert sorted(tree.all_indices()) == [3, 7, 11]
+
+    def test_incremental_insert(self):
+        ds = MetricDataset(np.array([[0.0], [10.0], [20.0]]))
+        tree = CoverTree(ds, indices=[0])
+        tree.insert(1)
+        tree.insert(2)
+        assert tree.size == 3
+        assert tree.nearest(np.array([19.0]))[0] == 2
+
+
+class TestInvariants:
+    def _check_invariants(self, tree):
+        """Covering: explicit child at level j is within 2^(j+1) of its
+        parent.  Separation is checked per conceptual level via the
+        level nets."""
+        ds = tree.dataset
+        for node in tree.iter_nodes():
+            for child in node.children:
+                assert child.level < node.level or node is tree._root
+                d = ds.distance(node.index, child.index)
+                assert d <= 2.0 ** (child.level + 1) + 1e-9, (
+                    f"covering violated: d={d}, child level={child.level}"
+                )
+
+    def test_invariants_random(self):
+        rng = np.random.default_rng(2)
+        ds = MetricDataset(rng.normal(size=(120, 3)))
+        self._check_invariants(CoverTree(ds))
+
+    def test_invariants_clustered(self):
+        rng = np.random.default_rng(3)
+        pts = np.vstack([
+            rng.normal(0, 0.01, size=(40, 2)),
+            rng.normal(100, 0.01, size=(40, 2)),
+        ])
+        self._check_invariants(CoverTree(MetricDataset(pts)))
+
+    def test_level_net_packing(self):
+        rng = np.random.default_rng(4)
+        ds = MetricDataset(rng.normal(size=(100, 2)))
+        tree = CoverTree(ds)
+        for level in range(-3, 3):
+            net = tree.level_net(level)
+            for a_pos in range(len(net)):
+                for b_pos in range(a_pos + 1, len(net)):
+                    assert ds.distance(net[a_pos], net[b_pos]) > 2.0**level - 1e-12
+
+    def test_level_net_covering(self):
+        rng = np.random.default_rng(5)
+        ds = MetricDataset(rng.normal(size=(100, 2)))
+        tree = CoverTree(ds)
+        for level in range(-2, 3):
+            net = tree.level_net(level)
+            for p in range(ds.n):
+                d = ds.distances_from(p, net)
+                assert float(d.min()) <= 2.0 ** (level + 1) + 1e-9
+
+    def test_level_net_contains_root(self):
+        rng = np.random.default_rng(6)
+        ds = MetricDataset(rng.normal(size=(30, 2)))
+        tree = CoverTree(ds)
+        assert tree.root_index in tree.level_net(100)
+
+
+class TestQueries:
+    def test_nearest_matches_brute_force(self):
+        rng = np.random.default_rng(7)
+        ds = MetricDataset(rng.normal(size=(200, 3)))
+        tree = CoverTree(ds)
+        for _ in range(30):
+            q = rng.normal(size=3)
+            bi, bd = brute_nearest(ds, q)
+            ti, td = tree.nearest(q)
+            assert td == pytest.approx(bd, abs=1e-9)
+
+    def test_nearest_on_dataset_point_is_zero(self):
+        rng = np.random.default_rng(8)
+        ds = MetricDataset(rng.normal(size=(50, 2)))
+        tree = CoverTree(ds)
+        idx, dist = tree.nearest(ds.point(17))
+        assert dist == pytest.approx(0.0, abs=1e-12)
+
+    def test_early_stop_returns_within_bound(self):
+        rng = np.random.default_rng(9)
+        ds = MetricDataset(rng.normal(size=(200, 2)))
+        tree = CoverTree(ds)
+        q = ds.point(0) + 0.001
+        idx, dist = tree.nearest(q, early_stop=0.5)
+        assert dist <= 0.5
+
+    def test_range_query_matches_brute_force(self):
+        rng = np.random.default_rng(10)
+        ds = MetricDataset(rng.normal(size=(150, 2)))
+        tree = CoverTree(ds)
+        for radius in (0.1, 0.5, 1.0, 3.0):
+            q = rng.normal(size=2)
+            got = sorted(i for i, _ in tree.range_query(q, radius))
+            want = sorted(np.flatnonzero(ds.distances_point(q) <= radius).tolist())
+            assert got == want
+
+    def test_range_query_includes_duplicates(self):
+        pts = np.array([[0.0], [0.0], [5.0]])
+        tree = CoverTree(MetricDataset(pts))
+        hits = sorted(i for i, _ in tree.range_query(np.array([0.0]), 0.1))
+        assert hits == [0, 1]
+
+    def test_empty_tree_nearest_raises(self):
+        ds = MetricDataset(np.array([[0.0]]))
+        tree = CoverTree(ds, indices=[])
+        with pytest.raises(ValueError):
+            tree.nearest(np.array([0.0]))
+        assert tree.range_query(np.array([0.0]), 1.0) == []
+
+    def test_text_metric_tree(self):
+        strings = ["aaaa", "aaab", "aabb", "zzzz", "zzzy"]
+        ds = MetricDataset(strings, EditDistanceMetric())
+        tree = CoverTree(ds)
+        idx, dist = tree.nearest("zzzz")
+        assert dist == 0.0
+        idx, dist = tree.nearest("aaaa")
+        assert dist == 0.0
+        hits = {i for i, _ in tree.range_query("zzzx", 1.5)}
+        assert hits == {3, 4}
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(-50, 50), st.floats(-50, 50)),
+        min_size=2,
+        max_size=40,
+    ),
+    st.tuples(st.floats(-60, 60), st.floats(-60, 60)),
+)
+@settings(max_examples=50, deadline=None)
+def test_nearest_property(points, query):
+    """Property: cover-tree NN equals brute-force NN for arbitrary data,
+    including duplicates and collinear degeneracies."""
+    pts = np.asarray(points, dtype=np.float64)
+    ds = MetricDataset(pts, EuclideanMetric())
+    tree = CoverTree(ds)
+    q = np.asarray(query)
+    _, bd = brute_nearest(ds, q)
+    _, td = tree.nearest(q)
+    assert td == pytest.approx(bd, abs=1e-6)

@@ -1,0 +1,234 @@
+"""Tests for the synthetic dataset generators, the noisy-variant recipe,
+the text corpus generator, streams, and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    REGISTRY,
+    ReplayStream,
+    chunked,
+    dataset_names,
+    load_dataset,
+    make_anisotropic,
+    make_blobs,
+    make_circles,
+    make_cluto_like,
+    make_low_doubling,
+    make_moons,
+    make_noisy_variant,
+    make_session_stream,
+    make_text_clusters,
+    mutate_string,
+    prefix_split,
+    random_string,
+)
+from repro.metricspace import EditDistanceMetric
+from repro.metricspace.editdistance import levenshtein
+
+
+class TestVectorGenerators:
+    @pytest.mark.parametrize(
+        "maker",
+        [make_blobs, make_moons, make_circles, make_cluto_like, make_anisotropic],
+    )
+    def test_shapes_and_determinism(self, maker):
+        pts_a, y_a = maker(n=120, seed=5)
+        pts_b, y_b = maker(n=120, seed=5)
+        assert pts_a.shape[0] == 120
+        assert y_a.shape == (120,)
+        assert np.array_equal(pts_a, pts_b)
+        assert np.array_equal(y_a, y_b)
+
+    def test_different_seeds_differ(self):
+        pts_a, _ = make_blobs(n=50, seed=1)
+        pts_b, _ = make_blobs(n=50, seed=2)
+        assert not np.array_equal(pts_a, pts_b)
+
+    def test_outlier_fraction(self):
+        _, y = make_blobs(n=200, outlier_fraction=0.1, seed=0)
+        assert int(np.sum(y == -1)) == 20
+
+    def test_moons_two_classes(self):
+        _, y = make_moons(n=100, seed=0)
+        assert set(np.unique(y)) == {0, 1}
+
+    def test_circles_factor_validation(self):
+        with pytest.raises(ValueError):
+            make_circles(factor=1.5)
+
+    def test_cluto_has_four_shapes(self):
+        _, y = make_cluto_like(n=400, outlier_fraction=0.0, seed=0)
+        assert set(np.unique(y)) == {0, 1, 2, 3}
+
+
+class TestLowDoubling:
+    def test_shapes(self):
+        pts, y = make_low_doubling(
+            n=200, ambient_dim=64, intrinsic_dim=3, n_clusters=4, seed=0
+        )
+        assert pts.shape == (200, 64)
+        assert set(np.unique(y)) <= {-1, 0, 1, 2, 3}
+
+    def test_isometry_preserves_intrinsic_structure(self):
+        """Inliers must lie (almost) on an intrinsic_dim-dimensional
+        subspace: the singular-value spectrum collapses after rank d0."""
+        pts, y = make_low_doubling(
+            n=300, ambient_dim=40, intrinsic_dim=3, n_clusters=3,
+            outlier_fraction=0.0, ambient_noise=0.0, seed=1,
+        )
+        centered = pts - pts.mean(axis=0)
+        sv = np.linalg.svd(centered, compute_uv=False)
+        assert sv[3] < 1e-8 * sv[0]
+
+    def test_outliers_off_manifold(self):
+        pts, y = make_low_doubling(
+            n=300, ambient_dim=40, intrinsic_dim=3, n_clusters=3,
+            outlier_fraction=0.1, ambient_noise=0.0, seed=2,
+        )
+        inliers = pts[y >= 0]
+        outliers = pts[y == -1]
+        u, s, vt = np.linalg.svd(inliers - inliers.mean(axis=0), full_matrices=False)
+        basis = vt[:3]
+        residual = outliers - outliers @ basis.T @ basis
+        assert np.linalg.norm(residual, axis=1).min() > 1.0
+
+    def test_intrinsic_exceeds_ambient_rejected(self):
+        with pytest.raises(ValueError):
+            make_low_doubling(ambient_dim=2, intrinsic_dim=5)
+
+
+class TestNoisyVariant:
+    def test_duplication_count(self):
+        pts = np.zeros((10, 3))
+        y = np.arange(10)
+        noisy_pts, noisy_y = make_noisy_variant(
+            pts, y, times=10, outlier_fraction=0.0, seed=0
+        )
+        assert noisy_pts.shape == (100, 3)
+        for label in range(10):
+            assert int(np.sum(noisy_y == label)) == 10
+
+    def test_noise_bounded(self):
+        pts = np.zeros((5, 2))
+        noisy_pts, noisy_y = make_noisy_variant(
+            pts, np.zeros(5), times=4, noise_halfwidth=5.0,
+            outlier_fraction=0.0, seed=0,
+        )
+        assert np.all(np.abs(noisy_pts) <= 5.0)
+
+    def test_one_percent_outliers(self):
+        pts = np.zeros((100, 2))
+        noisy_pts, noisy_y = make_noisy_variant(
+            pts, np.zeros(100), times=10, outlier_fraction=0.01,
+            domain_low=0.0, domain_high=255.0, seed=0,
+        )
+        assert int(np.sum(noisy_y == -1)) == 10
+        assert noisy_pts.shape[0] == 1010
+
+    def test_times_validation(self):
+        with pytest.raises(ValueError):
+            make_noisy_variant(np.zeros((2, 2)), np.zeros(2), times=0)
+
+
+class TestTextGenerator:
+    def test_deterministic(self):
+        a, ya = make_text_clusters(n=50, seed=3)
+        b, yb = make_text_clusters(n=50, seed=3)
+        assert a == b
+        assert np.array_equal(ya, yb)
+
+    def test_cluster_separation_in_edit_distance(self):
+        strings, y = make_text_clusters(
+            n=60, n_clusters=3, seed_length=30, max_edits=3,
+            outlier_fraction=0.0, seed=4,
+        )
+        # Same-cluster distance <= 2*max_edits; cross-cluster much larger.
+        by_cluster = {c: [s for s, l in zip(strings, y) if l == c] for c in range(3)}
+        for c, members in by_cluster.items():
+            assert levenshtein(members[0], members[1]) <= 6
+        cross = levenshtein(by_cluster[0][0], by_cluster[1][0])
+        assert cross > 6
+
+    def test_mutate_string_within_budget(self):
+        rng = np.random.default_rng(0)
+        s = random_string(rng, 20, "abc")
+        for edits in range(5):
+            t = mutate_string(rng, s, edits, "abc")
+            assert levenshtein(s, t) <= edits
+
+    def test_negative_edits_rejected(self):
+        with pytest.raises(ValueError):
+            make_text_clusters(max_edits=-1)
+
+
+class TestStreams:
+    def test_replay_counts_passes(self):
+        stream = ReplayStream([1, 2, 3])
+        assert list(stream()) == [1, 2, 3]
+        assert list(stream()) == [1, 2, 3]
+        assert stream.passes_started == 2
+        assert len(stream) == 3
+
+    def test_session_stream_shapes(self):
+        pts, y = make_session_stream(n=500, dim=6, n_clusters=3, seed=0)
+        assert pts.shape == (500, 6)
+        assert y.shape == (500,)
+
+    def test_session_stream_drifts(self):
+        pts, y = make_session_stream(
+            n=2000, dim=4, n_clusters=1, drift=8.0, cluster_std=0.1,
+            outlier_fraction=0.0, seed=0,
+        )
+        early = pts[:200].mean(axis=0)
+        late = pts[-200:].mean(axis=0)
+        assert np.linalg.norm(late - early) > 4.0
+
+    def test_prefix_split(self):
+        pts, y = make_session_stream(n=1000, seed=0)
+        sub_pts, sub_y = prefix_split(pts, y, 0.1)
+        assert sub_pts.shape[0] == 100
+        assert np.array_equal(sub_pts, pts[:100])
+
+    def test_prefix_split_validation(self):
+        pts, y = make_session_stream(n=10, seed=0)
+        with pytest.raises(ValueError):
+            prefix_split(pts, y, 0.0)
+
+    def test_chunked(self):
+        assert list(chunked(range(7), 3)) == [[0, 1, 2], [3, 4, 5], [6]]
+        with pytest.raises(ValueError):
+            list(chunked(range(3), 0))
+
+
+class TestRegistry:
+    def test_all_categories_present(self):
+        assert set(dataset_names("low_dim")) >= {"moons", "cancer"}
+        assert set(dataset_names("high_dim")) >= {"mnist", "cifar10"}
+        assert set(dataset_names("text")) >= {"ag_news", "cola"}
+        assert set(dataset_names("large")) >= {"deep1b", "gist"}
+
+    def test_load_respects_size(self):
+        loaded = load_dataset("moons", size=150)
+        assert loaded.dataset.n == 150
+        assert loaded.labels.shape == (150,)
+
+    def test_text_dataset_uses_edit_metric(self):
+        loaded = load_dataset("cola", size=60)
+        assert isinstance(loaded.dataset.metric, EditDistanceMetric)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("imagenet")
+
+    def test_metadata_recorded(self):
+        loaded = load_dataset("mnist", size=100)
+        assert loaded.paper_n == 10_000
+        assert loaded.category == "high_dim"
+        assert loaded.eps_range[0] < loaded.eps_range[1]
+
+    @pytest.mark.parametrize("name", sorted(REGISTRY))
+    def test_every_entry_loads_small(self, name):
+        loaded = load_dataset(name, size=40, seed=1)
+        assert loaded.dataset.n == 40
+        assert loaded.labels.shape == (40,)

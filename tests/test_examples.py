@@ -1,0 +1,51 @@
+"""Smoke checks for the example scripts.
+
+Each example must at least parse and expose a ``main`` callable; the
+quickstart (the cheapest one) is additionally executed end-to-end so a
+stale API in the examples fails the suite rather than the reader.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_present():
+    assert len(EXAMPLES) >= 5
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_importable_with_main(name):
+    module = load_example(name)
+    assert callable(getattr(module, "main", None)), f"{name} lacks main()"
+
+
+def test_quickstart_runs(capsys, monkeypatch):
+    """Execute the quickstart end-to-end on a shrunken workload."""
+    module = load_example("quickstart.py")
+    import repro.datasets as datasets
+
+    original = datasets.make_moons
+
+    def small_moons(n=1500, **kwargs):
+        return original(n=200, **kwargs)
+
+    monkeypatch.setattr(module, "make_moons", small_moons)
+    module.main()
+    out = capsys.readouterr().out
+    assert "Our_Exact" in out
+    assert "gonzalez" in out

@@ -1,0 +1,176 @@
+"""Tests for Algorithm 1 (radius-guided Gonzalez) and its by-products."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import radius_guided_gonzalez
+from repro.metricspace import EditDistanceMetric, EuclideanMetric, MetricDataset
+
+
+def make_ds(seed=0, n=150):
+    rng = np.random.default_rng(seed)
+    pts = np.vstack([
+        rng.normal(0.0, 0.5, size=(n // 2, 2)),
+        rng.normal(8.0, 0.5, size=(n - n // 2, 2)),
+    ])
+    return MetricDataset(pts)
+
+
+class TestNetProperties:
+    def test_covering(self):
+        ds = make_ds()
+        net = radius_guided_gonzalez(ds, r_bar=0.5)
+        assert net.max_cover_radius() <= 0.5
+        assert np.all(net.dist_to_center <= 0.5 + 1e-12)
+
+    def test_packing(self):
+        ds = make_ds()
+        net = radius_guided_gonzalez(ds, r_bar=0.5)
+        assert not net.packing_violated()
+
+    def test_assignment_is_nearest_center(self):
+        ds = make_ds(1)
+        net = radius_guided_gonzalez(ds, r_bar=0.7)
+        centers = np.asarray(net.centers)
+        for p in range(ds.n):
+            d = ds.distances_from(p, centers)
+            assert net.dist_to_center[p] == pytest.approx(float(d.min()))
+
+    def test_cover_sets_partition(self):
+        ds = make_ds(2)
+        net = radius_guided_gonzalez(ds, r_bar=0.4)
+        cover = net.cover_sets()
+        all_points = np.concatenate(cover)
+        assert sorted(all_points.tolist()) == list(range(ds.n))
+
+    def test_cover_set_within_r_bar(self):
+        ds = make_ds(3)
+        net = radius_guided_gonzalez(ds, r_bar=0.4)
+        for j, members in enumerate(net.cover_sets()):
+            center = net.centers[j]
+            d = ds.distances_from(center, members)
+            assert np.all(d <= 0.4 + 1e-12)
+
+    def test_smaller_r_bar_more_centers(self):
+        ds = make_ds(4)
+        coarse = radius_guided_gonzalez(ds, r_bar=1.0)
+        fine = radius_guided_gonzalez(ds, r_bar=0.2)
+        assert fine.n_centers >= coarse.n_centers
+
+    def test_single_center_when_r_bar_huge(self):
+        ds = make_ds(5)
+        net = radius_guided_gonzalez(ds, r_bar=1e6)
+        assert net.n_centers == 1
+
+    def test_invalid_r_bar(self):
+        ds = make_ds(6)
+        with pytest.raises(ValueError):
+            radius_guided_gonzalez(ds, r_bar=0.0)
+        with pytest.raises(ValueError):
+            radius_guided_gonzalez(ds, r_bar=float("inf"))
+
+    def test_first_index_respected(self):
+        ds = make_ds(7)
+        net = radius_guided_gonzalez(ds, r_bar=0.5, first_index=13)
+        assert net.centers[0] == 13
+
+    def test_first_index_out_of_range(self):
+        ds = make_ds(8)
+        with pytest.raises(ValueError):
+            radius_guided_gonzalez(ds, r_bar=0.5, first_index=ds.n)
+
+    def test_max_centers_cap(self):
+        ds = make_ds(9)
+        net = radius_guided_gonzalez(ds, r_bar=1e-9, max_centers=5)
+        assert net.n_centers == 5
+
+
+class TestHarvestedByproducts:
+    def test_center_distances_match_direct(self):
+        ds = make_ds(10)
+        net = radius_guided_gonzalez(ds, r_bar=0.5)
+        m = net.n_centers
+        for i in range(min(m, 10)):
+            for j in range(min(m, 10)):
+                assert net.center_distances[i, j] == pytest.approx(
+                    ds.distance(net.centers[i], net.centers[j]), abs=1e-9
+                )
+
+    def test_neighbor_centers_threshold(self):
+        ds = make_ds(11)
+        net = radius_guided_gonzalez(ds, r_bar=0.5)
+        threshold = 2.0
+        neighbors = net.neighbor_centers(threshold)
+        for j, neigh in enumerate(neighbors):
+            assert j in neigh  # self at distance 0
+            for k in range(net.n_centers):
+                within = net.center_distances[j, k] <= threshold
+                assert (k in neigh) == within
+
+    def test_negative_threshold_rejected(self):
+        ds = make_ds(12)
+        net = radius_guided_gonzalez(ds, r_bar=0.5)
+        with pytest.raises(ValueError):
+            net.neighbor_centers(-1.0)
+
+    def test_harvested_ball_counts_exact(self):
+        ds = make_ds(13)
+        eps = 1.0
+        net = radius_guided_gonzalez(ds, r_bar=0.5, eps_for_counts=eps)
+        counts = net.ball_count_for(eps)
+        for j, center in enumerate(net.centers):
+            expected = int(np.count_nonzero(ds.distances_from(center) <= eps))
+            assert counts[j] == expected
+
+    def test_ball_counts_recompute_other_eps(self):
+        ds = make_ds(14)
+        net = radius_guided_gonzalez(ds, r_bar=0.5, eps_for_counts=1.0)
+        counts = net.ball_count_for(2.0)  # different eps -> recompute path
+        for j, center in enumerate(net.centers):
+            expected = int(np.count_nonzero(ds.distances_from(center) <= 2.0))
+            assert counts[j] == expected
+
+    def test_lemma2_candidate_sets_cover_eps_balls(self):
+        """Lemma 2: B(p, eps) ⊆ ∪_{e ∈ A_p} C_e with threshold 2r̄+ε."""
+        ds = make_ds(15)
+        eps = 1.2
+        r_bar = eps / 2.0
+        net = radius_guided_gonzalez(ds, r_bar=r_bar)
+        neighbors = net.neighbor_centers(2.0 * r_bar + eps)
+        cover = net.cover_sets()
+        for p in range(0, ds.n, 7):
+            ball = set(np.flatnonzero(ds.distances_from(p) <= eps).tolist())
+            j = int(net.center_of[p])
+            candidates = set(
+                int(x) for k in neighbors[j] for x in cover[int(k)]
+            )
+            assert ball <= candidates
+
+
+class TestMetricGeneric:
+    def test_edit_distance_net(self):
+        strings = ["aaaa", "aaab", "aaac", "zzzz", "zzzy", "mmmm"]
+        ds = MetricDataset(strings, EditDistanceMetric())
+        net = radius_guided_gonzalez(ds, r_bar=1.5)
+        assert net.max_cover_radius() <= 1.5
+        # The three well-separated families need at least three centers.
+        assert net.n_centers >= 3
+
+
+@given(
+    st.lists(st.floats(-100, 100), min_size=1, max_size=50),
+    st.floats(0.1, 20.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_net_properties_1d(values, r_bar):
+    """Property: covering radius <= r̄ and pairwise center separation
+    > r̄ for arbitrary 1-D inputs (with duplicates allowed)."""
+    pts = np.asarray(values, dtype=np.float64).reshape(-1, 1)
+    ds = MetricDataset(pts, EuclideanMetric())
+    net = radius_guided_gonzalez(ds, r_bar=r_bar)
+    assert net.max_cover_radius() <= r_bar + 1e-9
+    m = net.n_centers
+    if m >= 2:
+        off = net.center_distances[~np.eye(m, dtype=bool)]
+        assert off.min() > r_bar - 1e-9

@@ -1,0 +1,30 @@
+"""End-to-end check that ``python -m repro`` works as a subprocess."""
+
+import subprocess
+import sys
+
+
+def test_python_dash_m_repro_datasets():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "datasets"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "moons" in proc.stdout
+
+
+def test_python_dash_m_repro_cluster():
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "cluster",
+            "--dataset", "moons", "--algo", "approx",
+            "--eps", "0.12", "--size", "200",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0
+    assert "ARI" in proc.stdout

@@ -1,0 +1,295 @@
+"""Tests for the metric-space substrate: concrete metrics, batch paths,
+axiom checks, and the distance counter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metricspace import (
+    ChebyshevMetric,
+    CosineMetric,
+    CountingMetric,
+    EditDistanceMetric,
+    EuclideanMetric,
+    HammingMetric,
+    JaccardMetric,
+    ManhattanMetric,
+    MetricDataset,
+    MinkowskiMetric,
+    levenshtein,
+)
+
+VECTOR_METRICS = [
+    EuclideanMetric(),
+    ManhattanMetric(),
+    ChebyshevMetric(),
+    MinkowskiMetric(1.5),
+    MinkowskiMetric(3.0),
+]
+
+
+class TestEuclidean:
+    def test_known_value(self):
+        m = EuclideanMetric()
+        assert m.distance(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 5.0
+
+    def test_batch_matches_single(self):
+        rng = np.random.default_rng(0)
+        m = EuclideanMetric()
+        a = rng.normal(size=4)
+        batch = rng.normal(size=(10, 4))
+        many = m.distance_many(a, batch)
+        singles = [m.distance(a, b) for b in batch]
+        assert np.allclose(many, singles)
+
+    def test_pairwise_symmetric_zero_diag(self):
+        rng = np.random.default_rng(1)
+        pts = rng.normal(size=(12, 3))
+        d = EuclideanMetric().pairwise(pts)
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_pairwise_matches_direct(self):
+        rng = np.random.default_rng(2)
+        pts = rng.normal(size=(8, 3))
+        m = EuclideanMetric()
+        d = m.pairwise(pts)
+        for i in range(8):
+            for j in range(8):
+                assert d[i, j] == pytest.approx(m.distance(pts[i], pts[j]), abs=1e-9)
+
+
+class TestMinkowskiFamily:
+    @pytest.mark.parametrize("metric", VECTOR_METRICS)
+    def test_axioms_on_sample(self, metric):
+        rng = np.random.default_rng(3)
+        sample = rng.normal(size=(6, 3))
+        metric.check_axioms(sample)
+
+    def test_p_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            MinkowskiMetric(0.5)
+
+    def test_p2_equals_euclidean(self):
+        rng = np.random.default_rng(4)
+        a, b = rng.normal(size=3), rng.normal(size=3)
+        assert MinkowskiMetric(2.0).distance(a, b) == pytest.approx(
+            EuclideanMetric().distance(a, b)
+        )
+
+    def test_manhattan_known(self):
+        assert ManhattanMetric().distance(
+            np.array([0.0, 0.0]), np.array([1.0, 2.0])
+        ) == pytest.approx(3.0)
+
+    def test_chebyshev_known(self):
+        assert ChebyshevMetric().distance(
+            np.array([0.0, 0.0]), np.array([1.0, 2.0])
+        ) == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("metric", VECTOR_METRICS)
+    def test_batch_consistency(self, metric):
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=4)
+        batch = rng.normal(size=(7, 4))
+        assert np.allclose(
+            metric.distance_many(a, batch),
+            [metric.distance(a, b) for b in batch],
+        )
+
+
+class TestCosine:
+    def test_orthogonal(self):
+        m = CosineMetric()
+        assert m.distance(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(
+            np.pi / 2
+        )
+
+    def test_parallel_zero(self):
+        m = CosineMetric()
+        assert m.distance(np.array([2.0, 0.0]), np.array([5.0, 0.0])) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            CosineMetric().distance(np.zeros(2), np.ones(2))
+
+    def test_triangle_inequality_sample(self):
+        rng = np.random.default_rng(6)
+        sample = rng.normal(size=(6, 4))
+        CosineMetric().check_axioms(sample, atol=1e-7)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "", 3),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("abc", "acb", 2),
+            ("a", "b", 1),
+        ],
+    )
+    def test_known_values(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    def test_cutoff_lower_bound(self):
+        # Early exit must still exceed the cutoff.
+        d = levenshtein("aaaaaaaaaa", "bbbbbbbbbb", cutoff=2)
+        assert d > 2
+
+    def test_cutoff_exact_below(self):
+        assert levenshtein("kitten", "sitting", cutoff=5) == 3
+
+    def test_length_pruning(self):
+        assert levenshtein("ab", "abcdefgh", cutoff=3) > 3
+
+    @given(st.text(alphabet="abc", max_size=12), st.text(alphabet="abc", max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(
+        st.text(alphabet="ab", max_size=8),
+        st.text(alphabet="ab", max_size=8),
+        st.text(alphabet="ab", max_size=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(st.text(alphabet="abcd", max_size=10), st.text(alphabet="abcd", max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, a, b):
+        d = levenshtein(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+    def test_metric_wrapper_batch(self):
+        m = EditDistanceMetric()
+        out = m.distance_many("abc", ["abc", "abd", "xyz"])
+        assert out.tolist() == [0.0, 1.0, 3.0]
+
+    def test_negative_cutoff_rejected(self):
+        with pytest.raises(ValueError):
+            EditDistanceMetric(cutoff=-1)
+
+
+class TestHamming:
+    def test_strings(self):
+        assert HammingMetric().distance("karolin", "kathrin") == 3.0
+
+    def test_arrays(self):
+        assert HammingMetric().distance([1, 0, 1], [1, 1, 1]) == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            HammingMetric().distance("ab", "abc")
+
+    def test_axioms(self):
+        sample = ["abc", "abd", "xyz", "xbc"]
+        HammingMetric().check_axioms(sample)
+
+
+class TestJaccard:
+    def test_known(self):
+        assert JaccardMetric().distance({1, 2}, {2, 3}) == pytest.approx(2.0 / 3.0)
+
+    def test_empty_sets(self):
+        assert JaccardMetric().distance(set(), set()) == 0.0
+
+    def test_disjoint(self):
+        assert JaccardMetric().distance({1}, {2}) == 1.0
+
+    def test_axioms(self):
+        sample = [{1, 2}, {2, 3}, {1, 2, 3}, {4}, set()]
+        JaccardMetric().check_axioms(sample)
+
+    def test_batch(self):
+        out = JaccardMetric().distance_many({1, 2}, [{1, 2}, {3}])
+        assert out.tolist() == [0.0, 1.0]
+
+
+class TestCountingMetric:
+    def test_counts_singles(self):
+        m = CountingMetric(EuclideanMetric())
+        m.distance(np.zeros(2), np.ones(2))
+        m.distance(np.zeros(2), np.ones(2))
+        assert m.count == 2
+        assert m.calls == 2
+
+    def test_counts_batch_per_element(self):
+        m = CountingMetric(EuclideanMetric())
+        m.distance_many(np.zeros(2), np.ones((5, 2)))
+        assert m.count == 5
+        assert m.calls == 1
+
+    def test_reset(self):
+        m = CountingMetric(EuclideanMetric())
+        m.distance(np.zeros(2), np.ones(2))
+        m.reset()
+        assert m.count == 0
+
+    def test_preserves_values(self):
+        inner = EuclideanMetric()
+        m = CountingMetric(inner)
+        a, b = np.zeros(2), np.array([3.0, 4.0])
+        assert m.distance(a, b) == inner.distance(a, b)
+
+    def test_pairwise_counting(self):
+        m = CountingMetric(EuclideanMetric())
+        m.pairwise(np.ones((4, 2)))
+        assert m.count == 6  # C(4, 2)
+
+
+class TestMetricDataset:
+    def test_vector_shape_coercion(self):
+        ds = MetricDataset(np.array([1.0, 2.0, 3.0]))
+        assert ds.n == 3
+        assert ds.points.shape == (3, 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MetricDataset(np.empty((0, 2)))
+
+    def test_distance_and_batch(self):
+        ds = MetricDataset(np.array([[0.0], [3.0], [7.0]]))
+        assert ds.distance(0, 2) == 7.0
+        assert ds.distances_from(1).tolist() == [3.0, 0.0, 4.0]
+        assert ds.distances_from(0, [2, 1]).tolist() == [7.0, 3.0]
+
+    def test_distances_point_external_query(self):
+        ds = MetricDataset(np.array([[0.0], [10.0]]))
+        out = ds.distances_point(np.array([4.0]))
+        assert out.tolist() == [4.0, 6.0]
+
+    def test_empty_index_list(self):
+        ds = MetricDataset(np.array([[0.0], [1.0]]))
+        assert ds.distances_from(0, []).shape == (0,)
+
+    def test_non_vector_payloads(self):
+        ds = MetricDataset(["abc", "abd"], EditDistanceMetric())
+        assert ds.n == 2
+        assert ds.distance(0, 1) == 1.0
+        assert ds.gather([1]) == ["abd"]
+
+    def test_with_counting_shares_points(self):
+        ds = MetricDataset(np.array([[0.0], [1.0]]))
+        counted = ds.with_counting()
+        counted.distances_from(0)
+        assert counted.metric.count == 2
+        assert counted.points is ds.points
+
+    def test_with_counting_idempotent(self):
+        counted = MetricDataset(np.array([[0.0]])).with_counting()
+        assert counted.with_counting() is counted
+
+    def test_pairwise_subset(self):
+        ds = MetricDataset(np.array([[0.0], [1.0], [5.0]]))
+        sub = ds.pairwise([0, 2])
+        assert sub.shape == (2, 2)
+        assert sub[0, 1] == 5.0

@@ -1,0 +1,95 @@
+"""Hypothesis property tests spanning the core algorithms.
+
+These complement the per-module tests with randomized structural
+checks: exact-solver equivalence to brute force on arbitrary inputs,
+the sandwich theorem for the approximation, and net invariants under
+adversarial 2-D point clouds.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import OriginalDBSCAN
+from repro.core import ApproxMetricDBSCAN, MetricDBSCAN, StreamingApproxDBSCAN
+from repro.metricspace import MetricDataset
+
+from conftest import core_partition, same_cluster_pairs
+
+points_2d = st.lists(
+    st.tuples(
+        st.floats(-20.0, 20.0, allow_nan=False),
+        st.floats(-20.0, 20.0, allow_nan=False),
+    ),
+    min_size=3,
+    max_size=35,
+)
+eps_values = st.floats(0.2, 5.0)
+min_pts_values = st.integers(2, 6)
+
+
+@given(points_2d, eps_values, min_pts_values)
+@settings(max_examples=40, deadline=None)
+def test_exact_equals_brute_force(points, eps, min_pts):
+    """Exact solver == original DBSCAN on arbitrary (degenerate,
+    duplicated, collinear) inputs."""
+    ds = MetricDataset(np.asarray(points, dtype=np.float64))
+    ours = MetricDBSCAN(eps, min_pts).fit(ds)
+    ref = OriginalDBSCAN(eps, min_pts).fit(ds)
+    assert np.array_equal(ours.core_mask, ref.core_mask)
+    assert core_partition(ours.labels, ours.core_mask) == core_partition(
+        ref.labels, ref.core_mask
+    )
+    assert np.array_equal(ours.labels == -1, ref.labels == -1)
+
+
+@given(points_2d, eps_values, min_pts_values, st.sampled_from([0.3, 0.5, 1.0, 2.0]))
+@settings(max_examples=30, deadline=None)
+def test_approx_sandwich_property(points, eps, min_pts, rho):
+    """Theorem 2 / the Gan--Tao sandwich on arbitrary inputs."""
+    ds = MetricDataset(np.asarray(points, dtype=np.float64))
+    approx = ApproxMetricDBSCAN(eps, min_pts, rho=rho).fit(ds)
+    lo = OriginalDBSCAN(eps, min_pts).fit(ds)
+    hi = OriginalDBSCAN((1.0 + rho) * eps, min_pts).fit(ds)
+    cores = np.flatnonzero(lo.core_mask)
+    lo_pairs = same_cluster_pairs(lo.labels, cores)
+    mid_pairs = same_cluster_pairs(approx.labels, cores)
+    hi_pairs = same_cluster_pairs(hi.labels, cores)
+    assert lo_pairs <= mid_pairs <= hi_pairs
+    assert np.all(approx.labels[cores] >= 0)
+
+
+@given(points_2d, eps_values, min_pts_values)
+@settings(max_examples=20, deadline=None)
+def test_streaming_sandwich_property(points, eps, min_pts):
+    """Algorithm 3 output is also a valid ρ-approximate solution."""
+    rho = 0.5
+    ds = MetricDataset(np.asarray(points, dtype=np.float64))
+    stream = StreamingApproxDBSCAN(eps, min_pts, rho=rho).fit(ds)
+    lo = OriginalDBSCAN(eps, min_pts).fit(ds)
+    hi = OriginalDBSCAN((1.0 + rho) * eps, min_pts).fit(ds)
+    cores = np.flatnonzero(lo.core_mask)
+    assert (
+        same_cluster_pairs(lo.labels, cores)
+        <= same_cluster_pairs(stream.labels, cores)
+        <= same_cluster_pairs(hi.labels, cores)
+    )
+
+
+@given(points_2d, eps_values, min_pts_values)
+@settings(max_examples=25, deadline=None)
+def test_noise_monotone_in_min_pts(points, eps, min_pts):
+    """Raising MinPts can only grow the noise set (on the same eps)."""
+    ds = MetricDataset(np.asarray(points, dtype=np.float64))
+    loose = MetricDBSCAN(eps, min_pts).fit(ds)
+    strict = MetricDBSCAN(eps, min_pts + 2).fit(ds)
+    assert np.all((loose.labels == -1) <= (strict.labels == -1))
+
+
+@given(points_2d, eps_values, min_pts_values)
+@settings(max_examples=25, deadline=None)
+def test_core_monotone_in_eps(points, eps, min_pts):
+    """Growing eps can only grow the core set."""
+    ds = MetricDataset(np.asarray(points, dtype=np.float64))
+    small = MetricDBSCAN(eps, min_pts).fit(ds)
+    big = MetricDBSCAN(2.0 * eps, min_pts).fit(ds)
+    assert np.all(small.core_mask <= big.core_mask)

@@ -1,0 +1,53 @@
+"""Tests for the shared ClusteringResult container."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClusteringResult, PointType
+
+
+class TestBasics:
+    def test_counts(self):
+        r = ClusteringResult(labels=[0, 0, 1, -1, 1, -1])
+        assert r.n == 6
+        assert r.n_clusters == 2
+        assert r.n_noise == 2
+
+    def test_cluster_sizes(self):
+        r = ClusteringResult(labels=[0, 0, 1, -1])
+        assert r.cluster_sizes() == {0: 2, 1: 1}
+
+    def test_all_noise(self):
+        r = ClusteringResult(labels=[-1, -1])
+        assert r.n_clusters == 0
+        assert r.cluster_sizes() == {}
+
+    def test_labels_coerced_int64(self):
+        r = ClusteringResult(labels=np.array([0.0, 1.0]))
+        assert r.labels.dtype == np.int64
+
+
+class TestCoreMask:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ClusteringResult(labels=[0, 1], core_mask=[True])
+
+    def test_point_types(self):
+        r = ClusteringResult(
+            labels=[0, 0, -1], core_mask=[True, False, False]
+        )
+        types = r.point_types()
+        assert types[0] == PointType.CORE
+        assert types[1] == PointType.BORDER
+        assert types[2] == PointType.NOISE
+
+    def test_point_types_requires_mask(self):
+        with pytest.raises(ValueError):
+            ClusteringResult(labels=[0]).point_types()
+
+    def test_summary_string(self):
+        r = ClusteringResult(labels=[0, 0, -1], core_mask=[True, True, False])
+        text = r.summary()
+        assert "3 points" in text
+        assert "1 clusters" in text
+        assert "2 core" in text

@@ -1,0 +1,114 @@
+"""Unit tests for the union-find substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import UnionFind
+
+
+class TestBasics:
+    def test_initial_components(self):
+        uf = UnionFind(5)
+        assert uf.n_components == 5
+        assert uf.n_elements == 5
+
+    def test_union_reduces_components(self):
+        uf = UnionFind(5)
+        assert uf.union(0, 1) is True
+        assert uf.n_components == 4
+
+    def test_union_idempotent(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        assert uf.union(0, 1) is False
+        assert uf.n_components == 4
+
+    def test_connected_transitive(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+        assert not uf.connected(0, 3)
+
+    def test_find_returns_consistent_root(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        uf.union(1, 2)
+        roots = {uf.find(i) for i in range(4)}
+        assert len(roots) == 1
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_zero_size_allowed(self):
+        uf = UnionFind(0)
+        assert uf.n_components == 0
+
+    def test_add_extends(self):
+        uf = UnionFind(2)
+        new = uf.add()
+        assert new == 2
+        assert uf.n_components == 3
+        uf.union(0, new)
+        assert uf.connected(0, 2)
+
+
+class TestComponentLabels:
+    def test_dense_labels(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        labels = uf.component_labels()
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+        assert set(labels.values()) == {0, 1, 2, 3}
+
+    def test_subset_labels(self):
+        uf = UnionFind(6)
+        uf.union(0, 5)
+        labels = uf.component_labels([0, 5, 3])
+        assert labels[0] == labels[5]
+        assert labels[3] != labels[0]
+        assert sorted(set(labels.values())) == [0, 1]
+
+    def test_first_seen_order_deterministic(self):
+        uf = UnionFind(4)
+        uf.union(2, 3)
+        labels = uf.component_labels([3, 0])
+        assert labels[3] == 0
+        assert labels[0] == 1
+
+    def test_components_listing(self):
+        uf = UnionFind(4)
+        uf.union(1, 2)
+        comps = sorted(uf.components())
+        assert comps == [[0], [1, 2], [3]]
+
+
+@given(st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=60))
+def test_matches_naive_connectivity(edges):
+    """Property: union-find connectivity equals graph reachability."""
+    n = 20
+    uf = UnionFind(n)
+    adjacency = {i: set() for i in range(n)}
+    for a, b in edges:
+        uf.union(a, b)
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+
+    def reachable(start):
+        seen = {start}
+        stack = [start]
+        while stack:
+            x = stack.pop()
+            for y in adjacency[x]:
+                if y not in seen:
+                    seen.add(y)
+                    stack.append(y)
+        return seen
+
+    for a, b in [(0, 1), (5, 19), (3, 3), (7, 12)]:
+        assert uf.connected(a, b) == (b in reachable(a))

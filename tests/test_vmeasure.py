@@ -1,0 +1,99 @@
+"""Tests for the V-measure family and pair-confusion counting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.evaluation import (
+    adjusted_rand_index,
+    homogeneity_completeness_v,
+    pair_confusion_matrix,
+    purity,
+    rand_index,
+    v_measure,
+)
+
+label_lists = st.lists(st.integers(-1, 4), min_size=2, max_size=30)
+
+
+class TestVMeasure:
+    def test_perfect(self):
+        h, c, v = homogeneity_completeness_v([0, 0, 1, 1], [1, 1, 0, 0])
+        assert h == pytest.approx(1.0)
+        assert c == pytest.approx(1.0)
+        assert v == pytest.approx(1.0)
+
+    def test_homogeneous_but_incomplete(self):
+        # Every predicted cluster is pure, but class 0 is split.
+        h, c, v = homogeneity_completeness_v([0, 0, 1, 1], [0, 1, 2, 2])
+        assert h == pytest.approx(1.0)
+        assert c < 1.0
+        assert c < v < 1.0 or v == pytest.approx(2 * h * c / (h + c))
+
+    def test_complete_but_inhomogeneous(self):
+        # One predicted cluster swallows both classes.
+        h, c, v = homogeneity_completeness_v([0, 0, 1, 1], [0, 0, 0, 0])
+        assert c == pytest.approx(1.0)
+        assert h == pytest.approx(0.0)
+        assert v == pytest.approx(0.0)
+
+    def test_symmetry_swaps_h_and_c(self):
+        a, b = [0, 0, 1, 1], [0, 1, 2, 2]
+        h1, c1, _ = homogeneity_completeness_v(a, b)
+        h2, c2, _ = homogeneity_completeness_v(b, a)
+        assert h1 == pytest.approx(c2)
+        assert c1 == pytest.approx(h2)
+
+    @given(label_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_bounds(self, labels):
+        rng = np.random.default_rng(0)
+        other = rng.integers(0, 3, size=len(labels)).tolist()
+        h, c, v = homogeneity_completeness_v(labels, other)
+        for value in (h, c, v):
+            assert -1e-9 <= value <= 1.0 + 1e-9
+
+    def test_v_measure_shortcut(self):
+        a, b = [0, 0, 1, 1], [0, 1, 2, 2]
+        assert v_measure(a, b) == homogeneity_completeness_v(a, b)[2]
+
+
+class TestPurity:
+    def test_perfect(self):
+        assert purity([0, 0, 1, 1], [1, 1, 0, 0]) == 1.0
+
+    def test_known_value(self):
+        # Predicted cluster 0 = {0,0,1}: majority 2; cluster 1 = {1}: 1.
+        assert purity([0, 0, 1, 1], [0, 0, 0, 1]) == pytest.approx(0.75)
+
+    def test_single_cluster(self):
+        assert purity([0, 1, 2], [0, 0, 0]) == pytest.approx(1.0 / 3.0)
+
+
+class TestPairConfusion:
+    def test_identical_partitions(self):
+        m = pair_confusion_matrix([0, 0, 1, 1], [0, 0, 1, 1])
+        assert m[0, 1] == 0 and m[1, 0] == 0
+        assert m[1, 1] == 4  # 2 co-clustered unordered pairs, ordered = 4
+
+    def test_total_is_ordered_pairs(self):
+        labels = [0, 1, 1, 2, 0]
+        m = pair_confusion_matrix(labels, [2, 2, 0, 1, 1])
+        n = len(labels)
+        assert m.sum() == n * (n - 1)
+
+    def test_consistent_with_rand_index(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 3, size=50)
+        b = rng.integers(0, 3, size=50)
+        m = pair_confusion_matrix(a, b)
+        ri = (m[0, 0] + m[1, 1]) / m.sum()
+        assert ri == pytest.approx(rand_index(a, b))
+
+    @given(label_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_nonnegative(self, labels):
+        rng = np.random.default_rng(2)
+        other = rng.integers(0, 3, size=len(labels)).tolist()
+        m = pair_confusion_matrix(labels, other)
+        assert np.all(m >= 0)

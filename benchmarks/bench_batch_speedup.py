@@ -1,0 +1,69 @@
+"""Batched-engine speedup check (acceptance gate of the batching PR).
+
+Times the Euclidean radius-guided Gonzalez + approx-DBSCAN end-to-end
+path on a 20k-point synthetic dataset.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_batch_speedup.py [--n 20000]
+
+The number printed by the seed (pre-batching) tree is the denominator
+for the speedup recorded in ``CHANGES.md``.
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import ApproxMetricDBSCAN, MetricDataset
+from repro.datasets import make_blobs, make_moons
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", choices=("blobs", "moons"), default="blobs")
+    parser.add_argument("--n", type=int, default=20000)
+    parser.add_argument("--eps", type=float, default=None)
+    parser.add_argument("--min-pts", type=int, default=10)
+    parser.add_argument("--rho", type=float, default=0.5)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    if args.dataset == "blobs":
+        # The paper's data model: dense doubling-dimension inliers plus
+        # z scattered outliers, each of which costs Algorithm 1 a center.
+        pts, _ = make_blobs(
+            n=args.n, n_clusters=10, dim=2, std=0.05, spread=30.0,
+            outlier_fraction=0.1, seed=7,
+        )
+        if args.eps is None:
+            args.eps = 0.8
+    else:
+        pts, _ = make_moons(
+            n=args.n, noise=0.06, outlier_fraction=0.02, seed=7
+        )
+        if args.eps is None:
+            args.eps = 0.08
+    dataset = MetricDataset(pts)
+    best = float("inf")
+    result = None
+    for _ in range(args.repeats):
+        start = time.perf_counter()
+        result = ApproxMetricDBSCAN(
+            args.eps, args.min_pts, rho=args.rho
+        ).fit(dataset)
+        best = min(best, time.perf_counter() - start)
+    print(
+        f"{args.dataset} n={args.n} eps={args.eps} min_pts={args.min_pts} "
+        f"rho={args.rho}: "
+        f"best of {args.repeats} = {best:.3f}s, "
+        f"clusters={result.n_clusters}, noise={result.n_noise}"
+    )
+    for name, seconds in sorted(result.timings.phases.items()):
+        print(f"  {name:>16s}: {seconds:.3f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,16 @@ works anywhere, DYW is metric-generic) are skipped on the text dataset,
 mirroring the paper's missing curves.
 """
 
+import sys
+from pathlib import Path
+
+# Allow direct invocation (python benchmarks/bench_fig3_runtime.py) in
+# addition to `pytest benchmarks`, where conftest.py sets the path up.
+_HERE = Path(__file__).resolve().parent
+for _p in (str(_HERE), str(_HERE.parent / "src")):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
+
 import numpy as np
 import pytest
 
@@ -69,9 +79,26 @@ def run_sweep(name):
             rows.append((
                 f"{eps:g}", algo_name, f"{seconds:.3f}",
                 f"{counted.metric.count:,}",
+                f"{counted.n_cross_blocks:,}",
                 result.n_clusters, result.n_noise,
             ))
     return loaded, rows
+
+
+SWEEP_COLUMNS = [
+    "eps", "algorithm", "seconds", "distance evals", "kernel blocks",
+    "clusters", "noise",
+]
+
+
+def write_sweep_report(name, loaded, rows):
+    lines = [
+        f"Figure 3 ({name}) — running time vs eps "
+        f"(n={loaded.dataset.n}, MinPts={MIN_PTS}, rho={RHO})",
+        "",
+    ]
+    lines += format_table(SWEEP_COLUMNS, rows)
+    write_report(f"fig3_runtime_{name}", lines)
 
 
 @pytest.mark.parametrize("name", list(DATASETS))
@@ -79,16 +106,7 @@ def test_fig3_eps_sweep(benchmark, name):
     loaded, rows = benchmark.pedantic(
         lambda: run_sweep(name), rounds=1, iterations=1
     )
-    lines = [
-        f"Figure 3 ({name}) — running time vs eps "
-        f"(n={loaded.dataset.n}, MinPts={MIN_PTS}, rho={RHO})",
-        "",
-    ]
-    lines += format_table(
-        ["eps", "algorithm", "seconds", "distance evals", "clusters", "noise"],
-        rows,
-    )
-    write_report(f"fig3_runtime_{name}", lines)
+    write_sweep_report(name, loaded, rows)
     assert rows
 
 
@@ -131,6 +149,33 @@ def test_fig3_size_scaling(benchmark):
     assert ours_growth < brute_growth
 
 
+def main(argv=None):
+    """CLI entry point so CI can smoke the harness without pytest.
+
+    ``--quick`` shrinks every dataset and sweeps a single ε so the run
+    finishes in seconds; any harness rot (import errors, API drift,
+    report formatting) still surfaces.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument(
+        "--dataset", choices=sorted(DATASETS), action="append",
+        help="dataset(s) to sweep; default: moons (quick) or all",
+    )
+    args = parser.parse_args(argv)
+    names = args.dataset or (["moons"] if args.quick else sorted(DATASETS))
+    if args.quick:
+        for cfg in DATASETS.values():
+            cfg["size"] = min(cfg["size"], 300)
+            cfg["eps_values"] = cfg["eps_values"][:1]
+    for name in names:
+        loaded, rows = run_sweep(name)
+        write_sweep_report(name, loaded, rows)
+    return 0
+
+
 @pytest.mark.parametrize(
     "algo",
     ["our_exact", "our_approx", "dbscan"],
@@ -146,3 +191,7 @@ def test_fig3_moons_timing(benchmark, algo):
     }
     result = benchmark(factories[algo])
     assert result.n_clusters >= 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

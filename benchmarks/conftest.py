@@ -1,7 +1,12 @@
 """Benchmark-suite configuration.
 
-Makes ``common.py`` importable when pytest is invoked from the repo
-root, and provides the shared solver-runner fixture.
+Makes ``common.py`` importable when the benchmark suite is invoked
+explicitly (``pytest benchmarks``).  This file intentionally defines no
+helpers: the repo-level ``pyproject.toml`` pins ``testpaths = ["tests"]``
+so a bare ``pytest`` run never loads this module, and the test suite's
+``from conftest import ...`` imports always resolve ``tests/conftest.py``
+(the two files would otherwise shadow each other under the shared
+``conftest`` module name).
 """
 
 import sys

@@ -46,9 +46,26 @@ class OriginalDBSCAN:
     (2, 1)
     """
 
-    def __init__(self, eps: float, min_pts: int) -> None:
+    #: ``precompute_neighbors="auto"`` builds the ε-adjacency with
+    #: blocked cross kernels when the dataset is at most this large;
+    #: bigger inputs fall back to one region query per point so memory
+    #: stays O(n).
+    AUTO_PRECOMPUTE_MAX_N = 8192
+
+    def __init__(
+        self,
+        eps: float,
+        min_pts: int,
+        precompute_neighbors="auto",
+    ) -> None:
         self.eps = check_epsilon(eps)
         self.min_pts = check_min_pts(min_pts)
+        if precompute_neighbors not in (True, False, "auto"):
+            raise ValueError(
+                "precompute_neighbors must be True, False or 'auto'; "
+                f"got {precompute_neighbors!r}"
+            )
+        self.precompute_neighbors = precompute_neighbors
 
     def fit(self, dataset: MetricDataset) -> ClusteringResult:
         """Cluster ``dataset`` with the original algorithm."""
@@ -60,12 +77,31 @@ class OriginalDBSCAN:
         visited = np.zeros(n, dtype=bool)
         next_cluster = 0
 
+        precompute = self.precompute_neighbors
+        if precompute == "auto":
+            precompute = n <= self.AUTO_PRECOMPUTE_MAX_N
+
+        adjacency: List[np.ndarray] = []
+        if precompute:
+            with timings.phase("region_queries"):
+                red_eps = dataset.metric.reduce_threshold(eps)
+                for chunk, block in dataset.cross_blocks(reduced=True):
+                    hit = block <= red_eps
+                    for row in range(len(chunk)):
+                        adjacency.append(np.flatnonzero(hit[row]))
+
+        def region(idx: int) -> np.ndarray:
+            if precompute:
+                return adjacency[idx]
+            dists = dataset.distances_from(idx)
+            return np.flatnonzero(dists <= eps)
+
         with timings.phase("cluster"):
             for start in range(n):
                 if visited[start]:
                     continue
                 visited[start] = True
-                neighbors = self._region_query(dataset, start)
+                neighbors = region(start)
                 if len(neighbors) < self.min_pts:
                     continue  # noise for now; may become a border point later
                 core_mask[start] = True
@@ -80,7 +116,7 @@ class OriginalDBSCAN:
                     if visited[p]:
                         continue
                     visited[p] = True
-                    p_neighbors = self._region_query(dataset, p)
+                    p_neighbors = region(p)
                     if len(p_neighbors) >= self.min_pts:
                         core_mask[p] = True
                         queue.extend(p_neighbors)
@@ -91,11 +127,6 @@ class OriginalDBSCAN:
             timings=timings,
             stats={"algorithm": "dbscan", "eps": eps, "min_pts": self.min_pts},
         )
-
-    def _region_query(self, dataset: MetricDataset, idx: int) -> List[int]:
-        """Indices of all points within ε of point ``idx`` (brute force)."""
-        dists = dataset.distances_from(idx)
-        return np.flatnonzero(dists <= self.eps).tolist()
 
 
 def dbscan(dataset: MetricDataset, eps: float, min_pts: int) -> ClusteringResult:

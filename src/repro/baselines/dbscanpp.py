@@ -12,7 +12,7 @@ initialization the DBSCAN++ paper recommends for robustness.
 
 from __future__ import annotations
 
-from typing import List, Literal
+from typing import Literal
 
 import numpy as np
 
@@ -71,34 +71,45 @@ class DBSCANPlusPlus:
             else:
                 sample = self._kcenter_sample(dataset, m, rng)
 
+        red_eps = dataset.metric.reduce_threshold(eps)
         with timings.phase("label_cores"):
-            sample_core: List[int] = []
-            for s in sample:
-                dists = dataset.distances_from(int(s))
-                if int(np.count_nonzero(dists <= eps)) >= self.min_pts:
-                    sample_core.append(int(s))
-            core_arr = np.asarray(sample_core, dtype=np.int64)
+            # One blocked pass: sampled rows against the full dataset.
+            core_rows = np.zeros(len(sample), dtype=bool)
+            pos = 0
+            for chunk, block in dataset.cross_blocks(queries=sample, reduced=True):
+                counts = np.count_nonzero(block <= red_eps, axis=1)
+                core_rows[pos : pos + len(chunk)] = counts >= self.min_pts
+                pos += len(chunk)
+            core_arr = np.asarray(sample[core_rows], dtype=np.int64)
 
         with timings.phase("merge"):
             uf = UnionFind(len(core_arr))
-            for i in range(len(core_arr)):
-                if i + 1 == len(core_arr):
-                    break
-                dists = dataset.distances_from(int(core_arr[i]), core_arr[i + 1 :])
-                for offset in np.flatnonzero(dists <= eps):
-                    uf.union(i, i + 1 + int(offset))
-            comp = uf.component_labels(range(len(core_arr)))
+            start = 0
+            for chunk_pos, block in dataset.cross_blocks(
+                queries=core_arr, targets=core_arr, reduced=True
+            ):
+                rows, cols = np.nonzero(block <= red_eps)
+                for i, j in zip(rows + start, cols):
+                    if i < j:
+                        uf.union(int(i), int(j))
+                start += len(chunk_pos)
+            comp_map = uf.component_labels(range(len(core_arr)))
+            comp = np.array(
+                [comp_map[i] for i in range(len(core_arr))], dtype=np.int64
+            )
 
         with timings.phase("assign"):
             labels = np.full(n, -1, dtype=np.int64)
             core_mask = np.zeros(n, dtype=bool)
             core_mask[core_arr] = True
             if len(core_arr) > 0:
-                for p in range(n):
-                    dists = dataset.distances_from(p, core_arr)
-                    pos = int(np.argmin(dists))
-                    if float(dists[pos]) <= eps:
-                        labels[p] = comp[pos]
+                for chunk, block in dataset.cross_blocks(
+                    targets=core_arr, reduced=True
+                ):
+                    amin = block.argmin(axis=1)
+                    dmin = block[np.arange(block.shape[0]), amin]
+                    ok = dmin <= red_eps
+                    labels[chunk[ok]] = comp[amin[ok]]
 
         return ClusteringResult(
             labels=labels,

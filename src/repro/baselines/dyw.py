@@ -100,14 +100,16 @@ class DYWDBSCAN:
             visited = np.zeros(n, dtype=bool)
             next_cluster = 0
 
+            red_eps = dataset.metric.reduce_threshold(eps)
+
             def region(p: int) -> np.ndarray:
                 j = int(center_of[p])
                 cand = np.concatenate(
                     [np.asarray(cover.get(int(k), []), dtype=np.int64)
                      for k in neighbor[j]]
                 )
-                dists = dataset.distances_from(p, cand)
-                return cand[dists <= eps]
+                red = dataset.cross([p], cand, reduced=True)[0]
+                return cand[red <= red_eps]
 
             for start in range(n):
                 if visited[start]:

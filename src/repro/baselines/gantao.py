@@ -76,6 +76,7 @@ class GanTaoDBSCAN:
             cell_keys = list(cells.keys())
             neighbors = self._neighbor_cells(cell_keys, side, eps)
 
+        red_eps = dataset.metric.reduce_threshold(eps)
         with timings.phase("label_cores"):
             core_mask = np.zeros(n, dtype=bool)
             for ci, key in enumerate(cell_keys):
@@ -87,10 +88,10 @@ class GanTaoDBSCAN:
                     [np.asarray(cells[cell_keys[cj]], dtype=np.int64)
                      for cj in neighbors[ci]]
                 )
-                for p in members:
-                    dists = dataset.distances_from(p, cand)
-                    if int(np.count_nonzero(dists <= eps)) >= self.min_pts:
-                        core_mask[p] = True
+                # One block per sparse cell instead of a per-point scan.
+                block = dataset.cross(members, cand, reduced=True)
+                counts = np.count_nonzero(block <= red_eps, axis=1)
+                core_mask[np.asarray(members)[counts >= self.min_pts]] = True
 
         with timings.phase("merge"):
             core_by_cell = [
@@ -114,7 +115,10 @@ class GanTaoDBSCAN:
                     if self._bcp_within(dataset, reps[ci], reps[cj], merge_threshold):
                         uf.union(ci, cj)
             occupied = [ci for ci in range(len(cell_keys)) if len(core_by_cell[ci])]
-            comp = uf.component_labels(occupied)
+            comp_map = uf.component_labels(occupied)
+            comp = np.full(len(cell_keys), -1, dtype=np.int64)
+            for ci in occupied:
+                comp[ci] = comp_map[ci]
 
         with timings.phase("assign"):
             labels = np.full(n, -1, dtype=np.int64)
@@ -135,11 +139,13 @@ class GanTaoDBSCAN:
                     [np.full(len(core_by_cell[cj]), cj) for cj in neighbors[ci]
                      if len(core_by_cell[cj])]
                 )
-                for p in noncore:
-                    dists = dataset.distances_from(p, cand)
-                    pos = int(np.argmin(dists))
-                    if float(dists[pos]) <= eps:
-                        labels[p] = comp[int(cand_cells[pos])]
+                # One block per cell labels every non-core member at once.
+                block = dataset.cross(noncore, cand, reduced=True)
+                amin = block.argmin(axis=1)
+                dmin = block[np.arange(block.shape[0]), amin]
+                ok = dmin <= red_eps
+                noncore_arr = np.asarray(noncore, dtype=np.int64)
+                labels[noncore_arr[ok]] = comp[cand_cells[amin[ok]].astype(np.int64)]
 
         return ClusteringResult(
             labels=labels,
@@ -195,11 +201,11 @@ class GanTaoDBSCAN:
     def _bcp_within(
         dataset: MetricDataset, a: np.ndarray, b: np.ndarray, threshold: float
     ) -> bool:
-        """Early-exit bichromatic closest pair test."""
+        """Blocked bichromatic closest pair test with per-block early exit."""
         if len(a) > len(b):
             a, b = b, a
-        for p in a:
-            dists = dataset.distances_from(int(p), b)
-            if float(dists.min()) <= threshold:
+        red_threshold = dataset.metric.reduce_threshold(threshold)
+        for _, block in dataset.cross_blocks(a, b, reduced=True):
+            if bool(np.any(block <= red_threshold)):
                 return True
         return False

@@ -26,10 +26,75 @@ import numpy as np
 from repro.core.gonzalez import GonzalezNet, radius_guided_gonzalez
 from repro.core.result import ClusteringResult
 from repro.core.summary import CoreSummary, build_summary
-from repro.metricspace.dataset import MetricDataset
+from repro.metricspace.dataset import MetricDataset, pairs_per_slice
 from repro.utils.timer import TimingBreakdown
 from repro.utils.unionfind import UnionFind
 from repro.utils.validation import check_epsilon, check_min_pts, check_rho
+
+
+
+class _FlatGroups:
+    """Ragged groups (e.g. summary points per center) flattened for
+    vectorized cartesian-product expansion."""
+
+    def __init__(self, flat: np.ndarray, starts: np.ndarray, sizes: np.ndarray):
+        self.flat = flat
+        self.starts = starts
+        self.sizes = sizes
+
+    @classmethod
+    def from_lists(cls, lists) -> "_FlatGroups":
+        sizes = np.asarray([len(x) for x in lists], dtype=np.int64)
+        starts = np.concatenate([[0], np.cumsum(sizes)])[:-1]
+        if sizes.sum():
+            flat = np.concatenate(
+                [np.asarray(x, dtype=np.int64) for x in lists if len(x)]
+            )
+        else:
+            flat = np.empty(0, dtype=np.int64)
+        return cls(flat, starts, sizes)
+
+    @classmethod
+    def from_assignment(cls, items: np.ndarray, assign: np.ndarray, m: int):
+        order = np.argsort(assign, kind="stable")
+        boundaries = np.searchsorted(assign[order], np.arange(m + 1))
+        return cls(items[order], boundaries[:-1], np.diff(boundaries))
+
+    def cartesian(
+        self,
+        src_groups: np.ndarray,
+        other: "_FlatGroups",
+        tgt_groups: np.ndarray,
+    ):
+        """For each aligned (src group, tgt group) pair, emit the
+        cartesian product of their members as two flat COO arrays."""
+        a = self.sizes[src_groups]
+        b = other.sizes[tgt_groups]
+        counts = a * b
+        tot = int(counts.sum())
+        if tot == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        pair_of = np.repeat(np.arange(counts.size), counts)
+        local = np.arange(tot) - np.repeat(np.cumsum(counts) - counts, counts)
+        b_rep = b[pair_of]
+        rows = self.flat[self.starts[src_groups][pair_of] + local // b_rep]
+        cols = other.flat[other.starts[tgt_groups][pair_of] + local % b_rep]
+        return rows, cols
+
+
+def _neighbor_center_pairs(neighbors: List[np.ndarray]):
+    """Flatten the enlarged neighbor lists into aligned (center,
+    neighbor-center) pair arrays."""
+    m = len(neighbors)
+    center_rep = np.repeat(
+        np.arange(m), [len(neighbors[j]) for j in range(m)]
+    )
+    if m and center_rep.size:
+        cand = np.concatenate([np.asarray(neighbors[j]) for j in range(m)])
+    else:
+        cand = np.empty(0, dtype=np.int64)
+    return center_rep, cand.astype(np.int64)
 
 
 class ApproxMetricDBSCAN:
@@ -96,6 +161,7 @@ class ApproxMetricDBSCAN:
         timings = TimingBreakdown()
         eps, rho = self.eps, self.rho
         n = dataset.n
+        evals0, blocks0 = dataset.n_cross_evals, dataset.n_cross_blocks
 
         if net is None:
             with timings.phase("gonzalez"):
@@ -129,6 +195,8 @@ class ApproxMetricDBSCAN:
                 dataset, net, summary, neighbors, member_cluster
             )
 
+        timings.count("distance_evals", dataset.n_cross_evals - evals0)
+        timings.count("distance_blocks", dataset.n_cross_blocks - blocks0)
         return ClusteringResult(
             labels=labels,
             core_mask=summary.known_core_mask,
@@ -155,26 +223,36 @@ class ApproxMetricDBSCAN:
         neighbors: List[np.ndarray],
     ) -> np.ndarray:
         """Line 9 of Algorithm 2: connect summary points within
-        ``(1+ρ)ε``; returns the dense cluster id of each summary point."""
-        threshold = (1.0 + self.rho) * self.eps
+        ``(1+ρ)ε``; returns the dense cluster id of each summary point.
+
+        Candidate pairs are evaluated one block per occupied center
+        (rows = the center's summary points, columns = the summary
+        points of its enlarged neighbor set) instead of one batch call
+        per summary point.
+        """
+        red_threshold = dataset.metric.reduce_threshold(
+            (1.0 + self.rho) * self.eps
+        )
         uf = UnionFind(summary.size)
         members = summary.members
-        for si in range(summary.size):
-            point = int(members[si])
-            j = int(net.center_of[point])
-            cand_positions = [
-                t
-                for k in neighbors[j]
-                for t in summary.members_by_center[int(k)]
-                if t > si
-            ]
-            if not cand_positions:
-                continue
-            cand_points = members[np.asarray(cand_positions, dtype=np.intp)]
-            dists = dataset.distances_from(point, cand_points)
-            for t, d in zip(cand_positions, dists):
-                if d <= threshold:
-                    uf.union(si, t)
+        groups = _FlatGroups.from_lists(summary.members_by_center)
+
+        # COO expansion of the candidate edges: every (center j, neighbor
+        # center k) pair fans out to the cartesian product of their
+        # summary points; one aligned pair kernel then evaluates all
+        # edges at once.  si < t dedupes the symmetric halves before
+        # evaluation.
+        center_rep, cand_centers = _neighbor_center_pairs(neighbors)
+        rows, cols = groups.cartesian(center_rep, groups, cand_centers)
+        forward = rows < cols
+        rows, cols = rows[forward], cols[forward]
+        pair_slice = pairs_per_slice(dataset)
+        for lo in range(0, rows.size, pair_slice):
+            sl = slice(lo, lo + pair_slice)
+            d = dataset.pair(members[rows[sl]], members[cols[sl]], reduced=True)
+            edge = d <= red_threshold
+            for si, t in zip(rows[sl][edge], cols[sl][edge]):
+                uf.union(int(si), int(t))
         labels_map = uf.component_labels(range(summary.size))
         return np.array(
             [labels_map[si] for si in range(summary.size)], dtype=np.int64
@@ -188,39 +266,70 @@ class ApproxMetricDBSCAN:
         neighbors: List[np.ndarray],
         member_cluster: np.ndarray,
     ) -> np.ndarray:
-        """Lines 10-20 of Algorithm 2."""
+        """Lines 10-20 of Algorithm 2, batched.
+
+        The line-11 fast path (inherit the cluster of an in-summary
+        center) is one vectorized gather; the fallback search runs one
+        many-to-many block per center whose sphere needs it.
+        """
         n = dataset.n
-        fallback_radius = (self.rho / 2.0 + 1.0) * self.eps
+        red_fallback = dataset.metric.reduce_threshold(
+            (self.rho / 2.0 + 1.0) * self.eps
+        )
         labels = np.full(n, -1, dtype=np.int64)
         members = summary.members
         # Summary points first: their own cluster ids.
         labels[members] = member_cluster
 
         in_summary = summary.member_position >= 0
-        center_position_of_point = net.center_of
         # Cluster id of each *center that is in S**, for the line-11 path.
-        center_member_pos = np.full(net.n_centers, -1, dtype=np.int64)
-        for j in range(net.n_centers):
-            if summary.center_is_core[j]:
-                center_member_pos[j] = summary.member_position[net.centers[j]]
+        centers_arr = np.asarray(net.centers, dtype=np.int64)
+        center_member_pos = np.where(
+            summary.center_is_core, summary.member_position[centers_arr], -1
+        )
 
-        for p in range(n):
-            if in_summary[p]:
-                continue
-            j = int(center_position_of_point[p])
-            if center_member_pos[j] >= 0:
-                labels[p] = member_cluster[center_member_pos[j]]
-                continue
-            cand_positions = [
-                t for k in neighbors[j] for t in summary.members_by_center[int(k)]
-            ]
-            if not cand_positions:
-                continue
-            cand_points = members[np.asarray(cand_positions, dtype=np.intp)]
-            dists = dataset.distances_from(p, cand_points)
-            pos = int(np.argmin(dists))
-            if float(dists[pos]) <= fallback_radius:
-                labels[p] = member_cluster[cand_positions[pos]]
+        point_center_pos = center_member_pos[net.center_of]
+        fast = ~in_summary & (point_center_pos >= 0)
+        labels[fast] = member_cluster[point_center_pos[fast]]
+
+        slow = np.flatnonzero(~in_summary & (point_center_pos < 0))
+        if slow.size == 0:
+            return labels
+        # COO fallback: (slow point, candidate summary point) pairs via
+        # the enlarged neighbor sets, reduced with min/argmin scatters.
+        m = net.n_centers
+        point_groups = _FlatGroups.from_assignment(
+            slow, net.center_of[slow], m
+        )
+        summary_groups = _FlatGroups.from_lists(summary.members_by_center)
+        center_rep, cand_centers = _neighbor_center_pairs(neighbors)
+        rows, cols = point_groups.cartesian(
+            center_rep, summary_groups, cand_centers
+        )
+        if rows.size == 0:
+            return labels
+        n_points = dataset.n
+        best = np.full(n_points, np.inf)
+        winner = np.full(n_points, summary.size, dtype=np.int64)
+        pair_slice = pairs_per_slice(dataset)
+        if rows.size <= pair_slice:
+            d = dataset.pair(rows, members[cols], reduced=True)
+            np.minimum.at(best, rows, d)
+            hit = d <= best[rows]
+            np.minimum.at(winner, rows[hit], cols[hit])
+        else:
+            # Memory-bounded two-phase: min pass, then tie pass.
+            for lo in range(0, rows.size, pair_slice):
+                sl = slice(lo, lo + pair_slice)
+                d = dataset.pair(rows[sl], members[cols[sl]], reduced=True)
+                np.minimum.at(best, rows[sl], d)
+            for lo in range(0, rows.size, pair_slice):
+                sl = slice(lo, lo + pair_slice)
+                d = dataset.pair(rows[sl], members[cols[sl]], reduced=True)
+                hit = d <= best[rows[sl]]
+                np.minimum.at(winner, rows[sl][hit], cols[sl][hit])
+        ok = slow[best[slow] <= red_fallback]
+        labels[ok] = member_cluster[winner[ok]]
         return labels
 
 

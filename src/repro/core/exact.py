@@ -126,6 +126,7 @@ class MetricDBSCAN:
         timings = TimingBreakdown()
         eps = self.eps
         n = dataset.n
+        evals0, blocks0 = dataset.n_cross_evals, dataset.n_cross_blocks
 
         if net is None:
             with timings.phase("gonzalez"):
@@ -157,6 +158,8 @@ class MetricDBSCAN:
                 dataset, net, neighbors, core_mask, core_by_center, center_cluster
             )
 
+        timings.count("distance_evals", dataset.n_cross_evals - evals0)
+        timings.count("distance_blocks", dataset.n_cross_blocks - blocks0)
         stats = {
             "algorithm": "our_exact",
             "eps": eps,
@@ -184,9 +187,14 @@ class MetricDBSCAN:
         neighbors: List[np.ndarray],
         cover: List[np.ndarray],
     ) -> np.ndarray:
-        """Label core points with the dense/sparse sphere split."""
+        """Label core points with the dense/sparse sphere split.
+
+        Sparse spheres are tested with one many-to-many block per
+        sphere (rows = sphere members, columns = the Lemma-2 candidate
+        set) instead of one batch call per point.
+        """
         n = dataset.n
-        eps = self.eps
+        red_eps = dataset.metric.reduce_threshold(self.eps)
         core_mask = np.zeros(n, dtype=bool)
         sizes = np.array([len(c) for c in cover], dtype=np.int64)
         if self.dense_shortcut:
@@ -200,10 +208,9 @@ class MetricDBSCAN:
             if len(members) == 0:
                 continue
             candidates = np.concatenate([cover[k] for k in neighbors[j]])
-            for p in members:
-                dists = dataset.distances_from(int(p), candidates)
-                if int(np.count_nonzero(dists <= eps)) >= self.min_pts:
-                    core_mask[p] = True
+            block = dataset.cross(members, candidates, reduced=True)
+            counts = np.count_nonzero(block <= red_eps, axis=1)
+            core_mask[members[counts >= self.min_pts]] = True
         return core_mask
 
     # ------------------------------------------------------------------
@@ -280,10 +287,11 @@ class MetricDBSCAN:
                 if dist <= eps:
                     return True
             return False
-        # Brute-force BCP (ablation path).
-        for q in a:
-            dists = dataset.distances_from(int(q), b)
-            if float(dists.min()) <= eps:
+        # Brute-force BCP (ablation path): blocked kernel, early exit
+        # after each block.
+        red_eps = dataset.metric.reduce_threshold(eps)
+        for _, block in dataset.cross_blocks(a, b, reduced=True):
+            if bool(np.any(block <= red_eps)):
                 return True
         return False
 
@@ -309,37 +317,49 @@ class MetricDBSCAN:
         footnote).
         """
         n = dataset.n
-        eps = self.eps
+        red_eps = dataset.metric.reduce_threshold(self.eps)
         memberships = {} if self.collect_border_memberships else None
         labels = np.full(n, -1, dtype=np.int64)
         # Core points inherit their own center's cluster id.
         core_indices = np.flatnonzero(core_mask)
         labels[core_indices] = center_cluster[net.center_of[core_indices]]
 
-        # Border candidates: non-core points, grouped by their center so
-        # the neighboring core set is assembled once per sphere.
+        # Border candidates: non-core points, grouped by their center and
+        # labeled with one many-to-many block per sphere.
         noncore = np.flatnonzero(~core_mask)
-        by_center: Dict[int, List[int]] = {}
-        for p in noncore:
-            by_center.setdefault(int(net.center_of[p]), []).append(int(p))
-        for j, members in by_center.items():
+        if noncore.size == 0:
+            return labels, memberships
+        assign = net.center_of[noncore]
+        order = np.argsort(assign, kind="stable")
+        boundaries = np.searchsorted(
+            assign[order], np.arange(net.n_centers + 1)
+        )
+        for j in range(net.n_centers):
+            lo, hi = boundaries[j], boundaries[j + 1]
+            if lo == hi:
+                continue
             cand_lists = [core_by_center[k] for k in neighbors[j]]
             cand_lists = [c for c in cand_lists if len(c) > 0]
             if not cand_lists:
                 continue
             candidates = np.concatenate(cand_lists)
-            for p in members:
-                dists = dataset.distances_from(p, candidates)
-                pos = int(np.argmin(dists))
-                if float(dists[pos]) <= eps:
-                    labels[p] = center_cluster[net.center_of[candidates[pos]]]
-                    if memberships is not None:
-                        within = candidates[dists <= eps]
-                        clusters = {
-                            int(center_cluster[net.center_of[int(q)]])
-                            for q in within
-                        }
-                        memberships[int(p)] = sorted(clusters)
+            group = noncore[order[lo:hi]]
+            block = dataset.cross(group, candidates, reduced=True)
+            amin = block.argmin(axis=1)
+            dmin = block[np.arange(block.shape[0]), amin]
+            ok = dmin <= red_eps
+            labels[group[ok]] = center_cluster[
+                net.center_of[candidates[amin[ok]]]
+            ]
+            if memberships is not None:
+                within_block = block <= red_eps
+                for i in np.flatnonzero(ok):
+                    within = candidates[within_block[i]]
+                    clusters = {
+                        int(center_cluster[net.center_of[int(q)]])
+                        for q in within
+                    }
+                    memberships[int(group[i])] = sorted(clusters)
         return labels, memberships
 
 

@@ -12,28 +12,64 @@ Under the paper's Assumption 1 (inliers with constant doubling dimension
 ``D``), the number of iterations is ``O((Δ/r̄)^D) + z`` (Lemma 1) and each
 iteration costs ``O(n)`` distance evaluations.
 
-Two cheap by-products of the run are harvested because the DBSCAN
-solvers need them:
+Batched implementation
+----------------------
+The textbook loop evaluates ``|E| · n`` distances, one full scan per
+center.  This implementation feeds the same greedy sequence through the
+batched distance engine instead:
 
-- the **center-center distance matrix**: whenever a new center is added
-  we compute its distance to *every* point, which includes all previous
-  centers — so the matrix costs nothing extra.  It yields the neighbor
-  ball-center sets ``A_p`` (Eq. (1) / Eq. (13)) for any threshold, which
-  is what makes parameter re-tuning free (Remark 5);
-- optional **ε-ball counts** ``|B(e, ε) ∩ X|`` per center, available for
-  the same reason; Algorithm 2 uses them to classify centers as core
-  points without extra work (Lemma 10).
+- **active-set pruning** — once a point is within ``r̄`` of some center
+  it can never again be the farthest point, so it leaves the working
+  set; distance updates only touch the shrinking *active* (uncovered)
+  set.  The selected center sequence matches the sequential greedy one
+  whenever farthest distances are distinct; on exact ties the batched
+  selection may break them differently (any choice yields a valid
+  ``r̄``-net with the same covering/packing guarantees).
+- **round batching** — centers are selected in rounds of up to
+  ``round_size``.  Within a round, the next pick is certified using only
+  the current top-``k`` candidates (everything outside the top-``k`` has
+  a stale distance that can only shrink, so it cannot overtake the
+  certified bound); the accumulated round centers are then applied to
+  the whole active set with *one* many-to-many ``cross`` block instead
+  of one scan per center.
+- **reduced space** — all comparisons, minima and argminima run on the
+  metric's monotone surrogate (squared distances for Euclidean), so hot
+  blocks skip the ``sqrt`` entirely.
+- **net-pruned by-products** — the nearest-center assignment of covered
+  points is refined against only the centers within ``2r̄`` of their
+  covering center, and the harvested ε-ball counts scan only the cover
+  sets of centers within ``ε + r̄`` (both bounds are pure
+  triangle-inequality facts), instead of rescanning all ``n`` points
+  per center.
+
+Two by-products of the run are kept because the DBSCAN solvers need
+them:
+
+- the **center-center distance matrix**: yields the neighbor ball-center
+  sets ``A_p`` (Eq. (1) / Eq. (13)) for any threshold, which is what
+  makes parameter re-tuning free (Remark 5);
+- optional **ε-ball counts** ``|B(e, ε) ∩ X|`` per center; Algorithm 2
+  uses them to classify centers as core points without extra work
+  (Lemma 10).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
-from repro.metricspace.dataset import MetricDataset
+from repro.metricspace.dataset import MetricDataset, pairs_per_slice
 from repro.utils.validation import check_epsilon
+
+#: Centers selected per batched round; bounds the size of the in-round
+#: candidate working set between consecutive pair-list flushes.
+DEFAULT_ROUND_SIZE = 256
+
+#: Relative slack applied to triangle-inequality pruning radii so a
+#: float rounding wobble can only *add* candidates, never drop one.
+_PRUNE_SLACK = 1.0 + 1e-12
 
 
 @dataclass
@@ -54,8 +90,7 @@ class GonzalezNet:
     dist_to_center:
         ``dis(p, c_p)`` for each point; all entries are ``<= r̄``.
     center_distances:
-        Symmetric ``(|E|, |E|)`` matrix of center-center distances,
-        harvested for free during the run.
+        Symmetric ``(|E|, |E|)`` matrix of center-center distances.
     ball_counts_eps:
         The ε used for the harvested ball counts, if any.
     ball_counts:
@@ -113,23 +148,32 @@ class GonzalezNet:
         """
         if threshold < 0:
             raise ValueError(f"threshold must be non-negative, got {threshold}")
-        within = self.center_distances <= threshold
-        return [np.flatnonzero(within[j]) for j in range(self.n_centers)]
+        m = self.n_centers
+        rows, cols = np.nonzero(self.center_distances <= threshold)
+        split = np.searchsorted(rows, np.arange(m + 1))
+        return [cols[split[j] : split[j + 1]] for j in range(m)]
 
     def ball_count_for(self, eps: float) -> np.ndarray:
         """``|B(e, ε) ∩ X|`` for each center.
 
         Served from the harvested counts when ``ε`` matches; otherwise
-        recomputed with one batch distance pass per center
-        (``O(|E| n)`` evaluations — the same order as Algorithm 1
-        itself).
+        recomputed with blocked cross kernels over all points
+        (``O(|E| n)`` evaluations — the same order as the textbook
+        Algorithm 1 itself).
         """
         eps = check_epsilon(eps)
         if self.ball_counts is not None and self.ball_counts_eps == eps:
             return self.ball_counts
+        red_eps = self.dataset.metric.reduce_threshold(eps)
         counts = np.empty(self.n_centers, dtype=np.int64)
-        for j, center in enumerate(self.centers):
-            counts[j] = int(np.count_nonzero(self.dataset.distances_from(center) <= eps))
+        pos = 0
+        for chunk, block in self.dataset.cross_blocks(
+            queries=self.centers, reduced=True
+        ):
+            counts[pos : pos + len(chunk)] = np.count_nonzero(
+                block <= red_eps, axis=1
+            )
+            pos += len(chunk)
         return counts
 
     def max_cover_radius(self) -> float:
@@ -146,12 +190,48 @@ class GonzalezNet:
         return bool(off_diag.min() <= self.r_bar)
 
 
+def _group_boundaries(assign: np.ndarray, m: int):
+    """Stable grouping of positions by assigned center: returns
+    ``(order, boundaries)`` with group ``j`` at
+    ``order[boundaries[j]:boundaries[j+1]]``."""
+    order = np.argsort(assign, kind="stable")
+    boundaries = np.searchsorted(assign[order], np.arange(m + 1))
+    return order, boundaries
+
+
+
+
+def _expand_pairs(order, boundaries, ks, js):
+    """Expand center-pair adjacency into a COO point-center pair list.
+
+    For every adjacent center pair ``(k, j)``, emits the members of
+    group ``k`` (positions into ``order``'s domain) paired with center
+    ``j``.  Fully vectorized; returns ``(points, centers)`` arrays of
+    equal length.
+    """
+    starts = boundaries[ks]
+    lengths = boundaries[ks + 1] - starts
+    nonempty = lengths > 0
+    starts, lengths, js = starts[nonempty], lengths[nonempty], js[nonempty]
+    if lengths.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    ends = np.cumsum(lengths)
+    flat = (
+        np.arange(ends[-1])
+        - np.repeat(ends - lengths, lengths)
+        + np.repeat(starts, lengths)
+    )
+    return order[flat], np.repeat(js, lengths)
+
+
 def radius_guided_gonzalez(
     dataset: MetricDataset,
     r_bar: float,
     eps_for_counts: Optional[float] = None,
     first_index: int = 0,
     max_centers: Optional[int] = None,
+    round_size: Optional[int] = None,
 ) -> GonzalezNet:
     """Run Algorithm 1 on ``dataset`` with radius bound ``r̄``.
 
@@ -163,13 +243,20 @@ def radius_guided_gonzalez(
         Upper bound on the covering radius; the loop stops once
         ``d_max <= r̄``.
     eps_for_counts:
-        If given, harvest ``|B(e, ε)|`` per center during the run (free,
-        see module docstring).
+        If given, harvest ``|B(e, ε)|`` per center (computed with
+        net-pruned batch kernels, see module docstring).
     first_index:
         The arbitrary starting point ``p_0`` (deterministic default 0).
     max_centers:
         Optional hard cap on ``|E|`` as a runaway guard for adversarial
         inputs; ``None`` (default) matches the paper exactly.
+    round_size:
+        Centers selected per batched round (performance knob; the
+        output is independent of it except for exact-tie breaking, see
+        module docstring).  ``None`` (default) picks
+        ``DEFAULT_ROUND_SIZE`` for vector metrics and single-pick
+        rounds for scalar metrics, whose candidate blocks would cost
+        real distance evaluations.
 
     Returns
     -------
@@ -177,11 +264,23 @@ def radius_guided_gonzalez(
 
     Notes
     -----
-    Total cost is ``O(|E| · n)`` distance evaluations where
-    ``|E| = O((Δ/r̄)^D) + z`` under Assumption 1 (Lemma 1).
+    Total cost is ``O(|E| · n)`` distance evaluations worst-case, where
+    ``|E| = O((Δ/r̄)^D) + z`` under Assumption 1 (Lemma 1); the batched
+    active-set implementation typically evaluates far fewer because
+    covered points leave the working set.
     """
     if r_bar <= 0 or not np.isfinite(r_bar):
         raise ValueError(f"r_bar must be positive and finite, got {r_bar}")
+    if round_size is None:
+        # Scalar metrics pay real distance evaluations for the k x k
+        # candidate blocks, which only amortize numpy overhead; their
+        # rounds degrade to single picks (still with pair-pruned
+        # flushes, which do save evaluations).
+        round_size = (
+            DEFAULT_ROUND_SIZE if dataset.metric.is_vector_metric else 1
+        )
+    if round_size < 1:
+        raise ValueError(f"round_size must be >= 1, got {round_size}")
     n = dataset.n
     if not 0 <= first_index < n:
         raise ValueError(f"first_index {first_index} out of range for n={n}")
@@ -190,45 +289,293 @@ def radius_guided_gonzalez(
     if harvest_counts:
         eps_for_counts = check_epsilon(eps_for_counts)
 
-    centers: List[int] = [first_index]
-    dist_to_e = dataset.distances_from(first_index)
-    center_of = np.zeros(n, dtype=np.int64)
-    center_rows: Dict[int, np.ndarray] = {}
-    counts: List[int] = []
-    if harvest_counts:
-        counts.append(int(np.count_nonzero(dist_to_e <= eps_for_counts)))
+    metric = dataset.metric
+    red_r = metric.reduce_threshold(r_bar)
 
-    while True:
-        far = int(np.argmax(dist_to_e))
-        d_max = float(dist_to_e[far])
-        if d_max <= r_bar:
-            break
+    centers: List[int] = [first_index]
+    red_dist = np.asarray(
+        dataset.reduced_distances_from(first_index), dtype=np.float64
+    )
+    # True distances mirror red_dist for the triangle-inequality pruning
+    # below (scaled comparisons like d(c,e) < 2 d(p,e) are not
+    # expressible in a generic monotone reduced space).
+    true_dist = np.asarray(metric.expand_reduced(red_dist), dtype=np.float64)
+    center_of = np.zeros(n, dtype=np.int64)
+    active = np.flatnonzero(red_dist > red_r)
+    # Center-center distance rows harvested per round: cc_rows[t] is the
+    # (K_t, m_after_round_t) block of the round's new centers against
+    # every center known by the end of that round.
+    cc_rows: List[np.ndarray] = []
+
+    flush_base = 1  # centers already reflected in red_dist/center_of
+    flush_block = 0  # cc_rows blocks already consumed by a flush
+    round_cap = int(np.clip(active.size // 64, min(8, round_size), round_size))
+
+    def flush_pending() -> None:
+        """Fold all pending centers into red_dist/center_of/active."""
+        nonlocal flush_base, flush_block, active
+        base = flush_base
+        if len(centers) == base:
+            active = active[red_dist[active] > red_r]
+            return
+        # Rows of the pending centers against the pre-flush centers,
+        # stacked from the mini-round harvest blocks.
+        cc_new = np.concatenate([b[:, :base] for b in cc_rows[flush_block:]])
+        flush_block = len(cc_rows)
+        act_assign = center_of[active]
+        group_max = np.zeros(base, dtype=np.float64)
+        np.maximum.at(group_max, act_assign, true_dist[active])
+        # (new center, old center) pairs that can possibly steal points;
+        # stale true distances are upper bounds, so the pruning is a
+        # superset of the exact one.  Only occupied groups participate.
+        occupied = np.flatnonzero(group_max > 0.0)
+        reachable = (
+            cc_new[:, occupied] < 2.0 * group_max[occupied][None, :] * _PRUNE_SLACK
+        )
+        js_new, es_pos = np.nonzero(reachable)
+        es = occupied[es_pos]
+        if es.size:
+            # Sort only the actives whose group is actually reachable.
+            affected = np.zeros(base, dtype=bool)
+            affected[es] = True
+            sub_active = active[affected[act_assign]]
+            order, boundaries = _group_boundaries(center_of[sub_active], base)
+            pair_pos, pair_new = _expand_pairs(order, boundaries, es, js_new)
+            pair_point = sub_active[pair_pos]
+            # Per-point tightening of the group-level bound.
+            keep = (
+                cc_new[pair_new, center_of[pair_point]]
+                < 2.0 * true_dist[pair_point] * _PRUNE_SLACK
+            )
+            pair_point, pair_new = pair_point[keep], pair_new[keep]
+            if pair_point.size:
+                new_arr = np.asarray(centers[base:], dtype=np.intp)
+                d = dataset.pair(pair_point, new_arr[pair_new], reduced=True)
+                # All updates stay confined to the pair set: strictly
+                # improved points reset to a sentinel so the position
+                # minimum picks the winning (earliest) new center; on
+                # exact ties the frozen (earlier) center survives.
+                old = red_dist[pair_point]
+                np.minimum.at(red_dist, pair_point, d)
+                strict = d < old
+                improved_points = pair_point[strict]
+                center_of[improved_points] = len(centers)
+                hit = d <= red_dist[pair_point]
+                np.minimum.at(center_of, pair_point[hit], base + pair_new[hit])
+                true_dist[improved_points] = metric.expand_reduced(
+                    red_dist[improved_points]
+                )
+        active = active[red_dist[active] > red_r]
+        flush_base = len(centers)
+
+    while active.size:
         if max_centers is not None and len(centers) >= max_centers:
             break
-        d_new = dataset.distances_from(far)
-        # Harvest this center's distances to all previous centers.
-        center_rows[len(centers)] = d_new[np.asarray(centers, dtype=np.intp)].copy()
-        if harvest_counts:
-            counts.append(int(np.count_nonzero(d_new <= eps_for_counts)))
-        pos = len(centers)
-        centers.append(far)
-        closer = d_new < dist_to_e
-        center_of[closer] = pos
-        np.minimum(dist_to_e, d_new, out=dist_to_e)
+        cur = red_dist[active]
+        k = min(round_cap, active.size)
+        if active.size > k:
+            part = np.argpartition(cur, active.size - k)
+            top = part[active.size - k :]
+            # Everything outside the top-k is <= this (possibly stale)
+            # bound, and both stale and true distances only shrink, so a
+            # certified in-round pick >= the bound is the true global
+            # farthest point.
+            bound = float(cur[part[active.size - k]])
+        else:
+            top = np.arange(active.size)
+            bound = -np.inf
+        top_idx = active[top]
+        cand = cur[top].copy()
+        # All candidate-candidate distances up front: the in-round picks
+        # then touch no distance kernel at all.
+        top_cross = dataset.cross(top_idx, top_idx, reduced=True)
 
+        round_centers: List[int] = []
+        # Batch-greedy waves: in descending candidate order, the picks
+        # are exactly the sequential greedy picks as long as no earlier
+        # pick reduces a later candidate (checked against top_cross), so
+        # each whole prefix is certified in one vectorized step.  Rounds
+        # full of mutually distant candidates (scattered outliers)
+        # collapse to a few waves; interacting picks fall through to the
+        # sequential loop below.
+        kk = cand.size
+        while True:
+            order_desc = np.argsort(-cand, kind="stable")
+            sorted_cand = cand[order_desc]
+            mutual = top_cross[np.ix_(order_desc, order_desc)]
+            reduces = mutual < sorted_cand[None, :]
+            np.fill_diagonal(reduces, False)
+            stop = (sorted_cand <= red_r) | (sorted_cand < bound)
+            if kk > 1:
+                cum = np.logical_or.accumulate(reduces, axis=0)
+                stop[1:] |= cum[np.arange(kk - 1), np.arange(1, kk)]
+            prefix = int(np.argmax(stop)) if bool(stop.any()) else kk
+            if max_centers is not None:
+                prefix = min(prefix, max_centers - len(centers) - len(round_centers))
+            if prefix <= 0:
+                break
+            picks = order_desc[:prefix]
+            round_centers.extend(int(top_idx[p]) for p in picks)
+            np.minimum(cand, top_cross[picks].min(axis=0), out=cand)
+            # Re-certifying pays for itself only on sizable waves.
+            if prefix < 16:
+                break
+
+        while True:
+            if (
+                max_centers is not None
+                and len(centers) + len(round_centers) >= max_centers
+            ):
+                break
+            best = int(np.argmax(cand))
+            best_val = float(cand[best])
+            if best_val <= red_r or best_val < bound:
+                break
+            round_centers.append(int(top_idx[best]))
+            np.minimum(cand, top_cross[best], out=cand)
+        round_cap = int(
+            np.clip(4 * len(round_centers), min(8, round_size), round_size)
+        )
+
+        if round_centers:
+            centers.extend(round_centers)
+            # Harvest this round's center-center distance rows.
+            cc_rows.append(dataset.cross(round_centers, centers))
+        flush_pending()
+
+    flush_pending()
     m = len(centers)
+    centers_arr = np.asarray(centers, dtype=np.intp)
     center_distances = np.zeros((m, m), dtype=np.float64)
-    for j, row in center_rows.items():
-        center_distances[j, : len(row)] = row
-        center_distances[: len(row), j] = row
+    row_start = 1
+    for cc_block in cc_rows:
+        row_end = row_start + cc_block.shape[0]
+        center_distances[row_start:row_end, : cc_block.shape[1]] = cc_block
+        row_start = row_end
+    # One symmetrization instead of per-round strided column writes
+    # (every pair is covered by the row block of its later center).
+    center_distances = np.maximum(center_distances, center_distances.T)
+    np.fill_diagonal(center_distances, 0.0)
+
+    # Refine covered points to their *nearest* center: the frozen
+    # assignment is within r̄, so any closer center must lie within 2r̄
+    # of it.  The candidate (point, center) pairs form a COO list built
+    # from the center-distance matrix and evaluated with one aligned
+    # pair kernel — no per-group Python loop.
+    covered = red_dist <= red_r
+    cov_idx = np.flatnonzero(covered)
+    if m > 1 and cov_idx.size:
+        order, boundaries = _group_boundaries(center_of[cov_idx], m)
+        adjacency = center_distances <= 2.0 * r_bar * _PRUNE_SLACK
+        np.fill_diagonal(adjacency, False)
+        ks, js = np.nonzero(adjacency)
+        pair_pos, pair_center = _expand_pairs(order, boundaries, ks, js)
+        if pair_pos.size:
+            pair_point = cov_idx[pair_pos]
+            total = pair_point.size
+            pair_slice = pairs_per_slice(dataset)
+            best = red_dist.copy()
+            if total <= pair_slice:
+                d = dataset.pair(
+                    pair_point, centers_arr[pair_center], reduced=True
+                )
+                np.minimum.at(best, pair_point, d)
+                hit = d <= best[pair_point]
+                pos = np.where(red_dist <= best, center_of, m)
+                np.minimum.at(pos, pair_point[hit], pair_center[hit])
+            else:
+                # Memory-bounded two-phase: min pass, then tie pass.
+                for lo in range(0, total, pair_slice):
+                    sl = slice(lo, lo + pair_slice)
+                    d = dataset.pair(
+                        pair_point[sl], centers_arr[pair_center[sl]], reduced=True
+                    )
+                    np.minimum.at(best, pair_point[sl], d)
+                pos = np.where(red_dist <= best, center_of, m)
+                for lo in range(0, total, pair_slice):
+                    sl = slice(lo, lo + pair_slice)
+                    d = dataset.pair(
+                        pair_point[sl], centers_arr[pair_center[sl]], reduced=True
+                    )
+                    hit = d <= best[pair_point[sl]]
+                    np.minimum.at(pos, pair_point[sl][hit], pair_center[sl][hit])
+            center_of = pos
+            red_dist = best
+
+    # d(e, e) = 0 exactly by the metric axioms; pin it so block-kernel
+    # cancellation jitter (the squared-norm trick) cannot leak in.
+    center_of[centers_arr] = np.arange(m)
+    red_dist[centers_arr] = metric.reduce_threshold(0.0)
+
+    true_dist = np.asarray(metric.expand_reduced(red_dist), dtype=np.float64)
+
+    counts: Optional[np.ndarray] = None
+    if harvest_counts:
+        counts = _pruned_ball_counts(
+            dataset, centers_arr, center_of, true_dist, center_distances,
+            eps_for_counts,
+        )
 
     return GonzalezNet(
         dataset=dataset,
         r_bar=float(r_bar),
         centers=centers,
         center_of=center_of,
-        dist_to_center=dist_to_e,
+        dist_to_center=true_dist,
         center_distances=center_distances,
         ball_counts_eps=eps_for_counts if harvest_counts else None,
-        ball_counts=np.asarray(counts, dtype=np.int64) if harvest_counts else None,
+        ball_counts=counts,
     )
+
+
+def _pruned_ball_counts(
+    dataset: MetricDataset,
+    centers_arr: np.ndarray,
+    center_of: np.ndarray,
+    true_dist: np.ndarray,
+    center_distances: np.ndarray,
+    eps: float,
+) -> np.ndarray:
+    """Exact ``|B(e, ε) ∩ X|`` per center via cover-set pruning.
+
+    Two triangle-inequality facts bound the work per center pair
+    ``(k, j)`` with group radius ``g_k = max_{p∈C_k} d(p, e_k)``:
+
+    - ``d(e_k, e_j) > ε + g_k``  →  no point of ``C_k`` can be within ε
+      of ``e_j`` (skip the group entirely);
+    - ``d(e_k, e_j) + g_k < ε``  →  every point of ``C_k`` is within ε
+      of ``e_j`` (count the whole group without evaluating anything).
+
+    Only groups in the annulus between the two bounds are evaluated,
+    with one aligned pair kernel over the COO pair list.
+    """
+    metric = dataset.metric
+    m = len(centers_arr)
+    red_eps = metric.reduce_threshold(eps)
+
+    order, boundaries = _group_boundaries(center_of, m)
+    group_sizes = np.diff(boundaries)
+    group_radius = np.zeros(m, dtype=np.float64)
+    np.maximum.at(group_radius, center_of, true_dist)
+
+    # Row thresholds fold the group radius in, so each decision is one
+    # broadcast compare over the center-distance matrix (no m^2 temp).
+    # The wholesale bound keeps a strict margin so kernel rounding in a
+    # direct evaluation can never disagree with the wholesale decision.
+    reach_at = (eps + group_radius) * _PRUNE_SLACK
+    whole_at = eps * (1.0 - 1e-12) - group_radius
+    counts = np.zeros(m, dtype=np.int64)
+    ks, js = np.nonzero(center_distances <= reach_at[:, None])
+    # Wholesale test only on the sparse reach set, not the full matrix.
+    whole = (center_distances[ks, js] <= whole_at[ks])
+    np.add.at(counts, js[whole], group_sizes[ks[whole]])
+    ks, js = ks[~whole], js[~whole]
+    pair_point, pair_center = _expand_pairs(order, boundaries, ks, js)
+    pair_slice = pairs_per_slice(dataset)
+    for lo in range(0, pair_point.size, pair_slice):
+        sl = slice(lo, lo + pair_slice)
+        d = dataset.pair(pair_point[sl], centers_arr[pair_center[sl]], reduced=True)
+        counts += np.bincount(
+            pair_center[sl][d <= red_eps], minlength=m
+        ).astype(np.int64)
+    return counts

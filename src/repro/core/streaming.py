@@ -1,5 +1,12 @@
 """Algorithm 3: streaming ρ-approximate DBSCAN (Section 4.2).
 
+Stream elements are processed in chunks through the batched distance
+engine: pass 1 probes each chunk against the current center set with one
+many-to-many ``cross`` block (new centers created mid-chunk are handled
+with small incremental one-to-many calls), and passes 2 and 3 are fully
+chunk-vectorized.  All threshold tests run in the metric's reduced
+space.
+
 Three passes over the stream, memory independent of ``n``:
 
 - **Pass 1** builds the center set ``E`` incrementally (a point farther
@@ -29,19 +36,54 @@ completeness that Theorem 2's maximality argument needs while keeping
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, List, Optional
+import itertools
+from typing import Any, Callable, Iterable, Iterator, List, Optional
 
 import numpy as np
 
 from repro.core.result import ClusteringResult
 from repro.metricspace.base import Metric
-from repro.metricspace.dataset import MetricDataset
+from repro.metricspace.dataset import MetricDataset, rows_per_block
 from repro.metricspace.euclidean import EuclideanMetric
 from repro.utils.timer import TimingBreakdown
 from repro.utils.unionfind import UnionFind
 from repro.utils.validation import check_epsilon, check_min_pts, check_rho
 
 StreamFactory = Callable[[], Iterable[Any]]
+
+#: Upper bound on stream chunk length (keeps per-chunk latency and the
+#: cumulative-count matrix bounded even when the target set is tiny).
+_MAX_CHUNK = 4096
+
+
+def _stream_chunks(stream: Iterable[Any], size_fn) -> Iterator[List[Any]]:
+    """Slice a stream into lists whose length tracks ``size_fn()``."""
+    it = iter(stream)
+    while True:
+        size = int(np.clip(size_fn(), 1, _MAX_CHUNK))
+        chunk = list(itertools.islice(it, size))
+        if not chunk:
+            return
+        yield chunk
+
+
+class _GrowingCounts:
+    """Append-only int64 counter array with amortized growth."""
+
+    def __init__(self) -> None:
+        self._data = np.zeros(16, dtype=np.int64)
+        self._size = 0
+
+    def append(self, value: int) -> None:
+        if self._size == self._data.shape[0]:
+            grown = np.zeros(2 * self._data.shape[0], dtype=np.int64)
+            grown[: self._size] = self._data[: self._size]
+            self._data = grown
+        self._data[self._size] = value
+        self._size += 1
+
+    def view(self) -> np.ndarray:
+        return self._data[: self._size]
 
 
 class _PayloadStore:
@@ -179,51 +221,106 @@ class StreamingApproxDBSCAN:
         """
         timings = TimingBreakdown()
         metric = metric if metric is not None else self.metric
-        eps, r_bar, min_pts = self.eps, self.r_bar, self.min_pts
+        eps, min_pts = self.eps, self.min_pts
+        red_eps = metric.reduce_threshold(eps)
+        red_r = metric.reduce_threshold(self.r_bar)
 
         centers = _PayloadStore(metric)
-        detected = []  # detected ε-ball count per center
+        detected = _GrowingCounts()  # detected ε-ball count per center
         watch = _PayloadStore(metric)  # the set M
         watch_center: List[int] = []  # arrival-time center of each M entry
         watch_is_center: List[bool] = []
         center_watch_pos: List[int] = []  # center -> its own M position
         n_seen = 0
 
+        def _observe(payload: Any, base_red: Optional[np.ndarray] = None) -> None:
+            """Per-element pass-1 step (used when chunk vectorization is
+            unavailable: no centers yet, or a center was created earlier
+            in the same chunk).
+
+            ``base_red`` carries already-computed reduced distances to
+            the first ``len(base_red)`` centers (the chunk-start block
+            row), so only centers created since then are evaluated.
+            """
+            m = len(centers)
+            if base_red is not None:
+                if m > base_red.shape[0]:
+                    extra = metric.reduced_distance_many(
+                        payload, centers.view()[base_red.shape[0] :]
+                    )
+                    red = np.concatenate([base_red, extra])
+                else:
+                    red = base_red
+            elif m:
+                red = metric.reduced_distance_many(payload, centers.view())
+            else:
+                red = np.empty(0, dtype=np.float64)
+            if red.size:
+                det = detected.view()
+                det[red <= red_eps] += 1
+                nearest = int(np.argmin(red))
+                nearest_red = float(red[nearest])
+            else:
+                nearest, nearest_red = -1, np.inf
+            if nearest_red > red_r:
+                j = centers.append(payload)
+                detected.append(1)  # the center counts itself
+                pos = watch.append(payload)
+                watch_center.append(j)
+                watch_is_center.append(True)
+                center_watch_pos.append(pos)
+            elif detected.view()[nearest] < min_pts:
+                watch.append(payload)
+                watch_center.append(nearest)
+                watch_is_center.append(False)
+
         with timings.phase("pass1_build_net"):
-            for payload in stream_factory():
-                n_seen += 1
-                dists = centers.distances_from(payload)
-                if dists.size:
-                    within_eps = dists <= eps
-                    for j in np.flatnonzero(within_eps):
-                        detected[j] += 1
-                    nearest = int(np.argmin(dists))
-                    nearest_d = float(dists[nearest])
+            for chunk in _stream_chunks(
+                stream_factory(), lambda: rows_per_block(max(1, len(centers)))
+            ):
+                n_seen += len(chunk)
+                m0 = len(centers)
+                if m0 == 0:
+                    scalar_from = 0
                 else:
-                    nearest, nearest_d = -1, np.inf
-                if nearest_d > r_bar:
-                    # New center; it watches itself (see module notes).
-                    j = centers.append(payload)
-                    detected.append(1)  # the center counts itself
-                    pos = watch.append(payload)
-                    watch_center.append(j)
-                    watch_is_center.append(True)
-                    center_watch_pos.append(pos)
-                else:
-                    if detected[nearest] < min_pts:
-                        pos = watch.append(payload)
-                        watch_center.append(nearest)
-                        watch_is_center.append(False)
+                    # One block against the centers known at chunk start;
+                    # rows before the first new center are batch-applied,
+                    # the rest fall back to the per-element step.
+                    block = metric.reduced_cross(chunk, centers.view())
+                    row_min = block.min(axis=1)
+                    row_arg = block.argmin(axis=1)
+                    violations = np.flatnonzero(row_min > red_r)
+                    scalar_from = (
+                        int(violations[0]) if violations.size else len(chunk)
+                    )
+                    if scalar_from > 0:
+                        within = block[:scalar_from] <= red_eps
+                        # Inclusive arrival-time counts decide watching.
+                        cum = np.cumsum(within, axis=0, dtype=np.int64)
+                        nearest = row_arg[:scalar_from]
+                        incl = detected.view()[nearest] + cum[
+                            np.arange(scalar_from), nearest
+                        ]
+                        detected.view()[:m0] += cum[-1]
+                        for r in np.flatnonzero(incl < min_pts):
+                            watch.append(chunk[int(r)])
+                            watch_center.append(int(nearest[r]))
+                            watch_is_center.append(False)
+                for pos in range(scalar_from, len(chunk)):
+                    _observe(chunk[pos], block[pos] if m0 else None)
 
         m_centers = len(centers)
-        detected_arr = np.asarray(detected, dtype=np.int64)
+        detected_arr = detected.view().copy()
 
         with timings.phase("pass2_recount"):
             exact_counts = np.zeros(len(watch), dtype=np.int64)
             if len(watch):
-                for payload in stream_factory():
-                    d = watch.distances_from(payload)
-                    exact_counts += d <= eps
+                watch_view = watch.view()
+                for chunk in _stream_chunks(
+                    stream_factory(), lambda: rows_per_block(len(watch))
+                ):
+                    block = metric.reduced_cross(chunk, watch_view)
+                    exact_counts += np.count_nonzero(block <= red_eps, axis=0)
             watch_core = exact_counts >= min_pts
 
         with timings.phase("pass2_summary"):
@@ -252,23 +349,36 @@ class StreamingApproxDBSCAN:
             member_cluster = self._merge_offline(summary_payloads, metric)
 
         labels = np.empty(n_seen, dtype=np.int64)
-        fallback_radius = (self.rho / 2.0 + 1.0) * eps
+        red_fallback = metric.reduce_threshold((self.rho / 2.0 + 1.0) * eps)
         with timings.phase("pass3_label"):
-            for i, payload in enumerate(stream_factory()):
-                if i >= n_seen:
+            offset = 0
+            summary_view = summary_payloads.view()
+            centers_view = centers.view()
+            for chunk in _stream_chunks(
+                stream_factory(),
+                lambda: rows_per_block(max(1, m_centers + len(summary_payloads))),
+            ):
+                if offset + len(chunk) > n_seen:
                     raise ValueError("stream grew between passes")
-                dists = centers.distances_from(payload)
-                nearest = int(np.argmin(dists))
-                if center_is_core[nearest] and float(dists[nearest]) <= r_bar:
-                    labels[i] = member_cluster[center_summary_pos[nearest]]
-                    continue
-                sdists = summary_payloads.distances_from(payload)
-                if sdists.size:
-                    pos = int(np.argmin(sdists))
-                    if float(sdists[pos]) <= fallback_radius:
-                        labels[i] = member_cluster[pos]
-                        continue
-                labels[i] = -1
+                chunk_labels = np.full(len(chunk), -1, dtype=np.int64)
+                block = metric.reduced_cross(chunk, centers_view)
+                nearest = block.argmin(axis=1)
+                nearest_red = block[np.arange(len(chunk)), nearest]
+                fast = center_is_core[nearest] & (nearest_red <= red_r)
+                chunk_labels[fast] = member_cluster[
+                    center_summary_pos[nearest[fast]]
+                ]
+                rest = np.flatnonzero(~fast)
+                if rest.size and len(summary_payloads):
+                    sblock = metric.reduced_cross(
+                        [chunk[int(i)] for i in rest], summary_view
+                    )
+                    spos = sblock.argmin(axis=1)
+                    sred = sblock[np.arange(rest.size), spos]
+                    ok = sred <= red_fallback
+                    chunk_labels[rest[ok]] = member_cluster[spos[ok]]
+                labels[offset : offset + len(chunk)] = chunk_labels
+                offset += len(chunk)
 
         memory_points = m_centers + len(watch)
         return ClusteringResult(
@@ -302,14 +412,14 @@ class StreamingApproxDBSCAN:
         """
         metric = metric if metric is not None else self.metric
         size = len(summary)
-        threshold = (1.0 + self.rho) * self.eps
+        red_threshold = metric.reduce_threshold((1.0 + self.rho) * self.eps)
         uf = UnionFind(size)
-        payloads = summary.view()
-        for i in range(size):
-            if i + 1 >= size:
-                break
-            dists = metric.distance_many(summary.get(i), payloads[i + 1 :])
-            for offset in np.flatnonzero(dists <= threshold):
-                uf.union(i, i + 1 + int(offset))
+        if size > 1:
+            payloads = summary.view()
+            block = metric.reduced_cross(payloads, payloads)
+            rows, cols = np.nonzero(block <= red_threshold)
+            upper = rows < cols
+            for i, j in zip(rows[upper], cols[upper]):
+                uf.union(int(i), int(j))
         labels_map = uf.component_labels(range(size))
         return np.array([labels_map[i] for i in range(size)], dtype=np.int64)

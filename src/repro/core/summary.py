@@ -88,6 +88,7 @@ def build_summary(
     cover = net.cover_sets()
     counts = net.ball_count_for(eps)
     center_is_core = counts >= min_pts
+    red_eps = dataset.metric.reduce_threshold(eps)
 
     n = dataset.n
     known_core = np.zeros(n, dtype=bool)
@@ -101,16 +102,22 @@ def build_summary(
             members_by_center[j].append(len(members))
             members.append(center_point)
             continue
+        # The center itself is already classified by the harvested ball
+        # counts (it is not core here), so only the other sphere members
+        # need testing — which skips singleton spheres entirely.
         sphere = cover[j]
+        sphere = sphere[sphere != net.centers[j]]
         if len(sphere) == 0:
             continue
+        # One many-to-many block per sparse sphere (|sphere| < MinPts
+        # rows, Lemma 8) instead of a per-point scan.
         candidates = np.concatenate([cover[k] for k in neighbors[j]])
-        for p in sphere:
-            dists = dataset.distances_from(int(p), candidates)
-            if int(np.count_nonzero(dists <= eps)) >= min_pts:
-                known_core[p] = True
-                members_by_center[j].append(len(members))
-                members.append(int(p))
+        block = dataset.cross(sphere, candidates, reduced=True)
+        core_rows = np.count_nonzero(block <= red_eps, axis=1) >= min_pts
+        for p in sphere[core_rows]:
+            known_core[p] = True
+            members_by_center[j].append(len(members))
+            members.append(int(p))
 
     members_arr = np.asarray(members, dtype=np.int64)
     member_position = np.full(n, -1, dtype=np.int64)

@@ -32,12 +32,13 @@ payloads — independent of the stream length, like Theorem 4.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional
 
 import numpy as np
 
 from repro.core.streaming import _PayloadStore
 from repro.metricspace.base import Metric
+from repro.metricspace.dataset import rows_per_block
 from repro.metricspace.euclidean import EuclideanMetric
 from repro.utils.unionfind import UnionFind
 from repro.utils.validation import check_epsilon, check_min_pts, check_rho
@@ -114,6 +115,9 @@ class WindowedApproxDBSCAN:
         self.bucket_size = max(1, self.window // self.n_buckets)
         self.r_bar = self.rho * self.eps / 2.0
         self.metric = metric if metric is not None else EuclideanMetric()
+        # Threshold tests run in the metric's reduced space.
+        self._red_eps = self.metric.reduce_threshold(self.eps)
+        self._red_r_bar = self.metric.reduce_threshold(self.r_bar)
 
         self._centers: List[Optional[_LiveCenter]] = []
         self._free_slots: List[int] = []
@@ -132,6 +136,62 @@ class WindowedApproxDBSCAN:
 
     def insert(self, payload: Any) -> None:
         """Process one stream arrival (and expire old buckets)."""
+        self._advance_bucket()
+        alive = self._alive_slots()
+        red = (
+            self._reduced_to_slots(payload, alive)
+            if alive
+            else np.empty(0, dtype=np.float64)
+        )
+        self._apply_arrival(payload, alive, red)
+        self._finish_arrival()
+
+    def insert_many(self, payloads: Any) -> None:
+        """Process a sequence of arrivals with chunked batch distance
+        blocks.
+
+        Equivalent to calling :meth:`insert` per element, but the
+        distances of a whole chunk against the live-center snapshot are
+        computed with one many-to-many ``cross`` block; only the rows
+        against centers created inside the same chunk fall back to
+        incremental one-to-many calls.  Chunks never span a bucket
+        boundary, so the snapshot cannot be invalidated by expiry.
+        """
+        payloads = list(payloads)
+        pos = 0
+        while pos < len(payloads):
+            self._advance_bucket()  # may expire buckets: snapshot after
+            alive = self._alive_slots()
+            step = min(
+                len(payloads) - pos,
+                1 + (self.bucket_size - self._in_bucket),
+                max(1, rows_per_block(max(1, len(alive)))),
+            )
+            chunk = payloads[pos : pos + step]
+            block: Optional[np.ndarray] = None
+            if alive:
+                block = self.metric.reduced_cross(chunk, self._slot_batch(alive))
+            new_slots: List[int] = []
+            empty = np.empty(0, dtype=np.float64)
+            for i, payload in enumerate(chunk):
+                if i > 0:
+                    self._advance_bucket()
+                red = block[i] if block is not None else empty
+                extra = (
+                    self._reduced_to_slots(payload, new_slots)
+                    if new_slots
+                    else None
+                )
+                slot = self._apply_arrival(payload, alive, red, new_slots, extra)
+                if slot is not None:
+                    new_slots.append(slot)
+                self._finish_arrival()
+            pos += step
+
+    # ------------------------------------------------------------------
+    # Arrival plumbing shared by insert / insert_many
+
+    def _advance_bucket(self) -> None:
         if self._in_bucket == 0:
             self._live_buckets.append(self._current_bucket)
             self._bucket_centers[self._current_bucket] = []
@@ -141,21 +201,32 @@ class WindowedApproxDBSCAN:
         self._in_bucket += 1
         self._clusters_dirty = True
 
-        alive = self._alive_slots()
-        nearest_slot = -1
-        nearest_d = np.inf
-        if alive:
-            dists = self._distances_to_slots(payload, alive)
-            for slot, dist in zip(alive, dists):
-                if dist <= self.eps:
-                    self._centers[slot].add(self._current_bucket)
-                if dist < nearest_d:
-                    nearest_d, nearest_slot = float(dist), slot
-        if nearest_d > self.r_bar:
+    def _apply_arrival(
+        self,
+        payload: Any,
+        alive: List[int],
+        red: np.ndarray,
+        extra_slots: Optional[List[int]] = None,
+        extra_red: Optional[np.ndarray] = None,
+    ) -> Optional[int]:
+        """Count ε-hits, then allocate a center when nothing is within
+        r̄.  Returns the new slot, if any."""
+        nearest_red = np.inf
+        for slots, values in ((alive, red), (extra_slots or [], extra_red)):
+            if not slots:
+                continue
+            for k in np.flatnonzero(values <= self._red_eps):
+                self._centers[slots[int(k)]].add(self._current_bucket)
+            low = float(values.min())
+            nearest_red = min(nearest_red, low)
+        if nearest_red > self._red_r_bar:
             slot = self._allocate(payload)
             self._centers[slot].add(self._current_bucket)
             self._bucket_centers[self._current_bucket].append(slot)
+            return slot
+        return None
 
+    def _finish_arrival(self) -> None:
         if self._in_bucket >= self.bucket_size:
             self._current_bucket += 1
             self._in_bucket = 0
@@ -191,12 +262,16 @@ class WindowedApproxDBSCAN:
         return [s for s, alive in enumerate(self._slot_alive) if alive]
 
     def _distances_to_slots(self, payload: Any, slots: List[int]) -> np.ndarray:
+        return self.metric.distance_many(payload, self._slot_batch(slots))
+
+    def _reduced_to_slots(self, payload: Any, slots: List[int]) -> np.ndarray:
+        return self.metric.reduced_distance_many(payload, self._slot_batch(slots))
+
+    def _slot_batch(self, slots: List[int]) -> Any:
         view = self._store.view()
         if self.metric.is_vector_metric:
-            batch = view[np.asarray(slots, dtype=np.intp)]
-        else:
-            batch = [view[s] for s in slots]
-        return self.metric.distance_many(payload, batch)
+            return view[np.asarray(slots, dtype=np.intp)]
+        return [view[s] for s in slots]
 
     # ------------------------------------------------------------------
     # Query side
@@ -207,14 +282,18 @@ class WindowedApproxDBSCAN:
         alive = self._alive_slots()
         core = [s for s in alive if self._centers[s].total_count >= self.min_pts]
         uf = UnionFind(len(core))
-        threshold = (1.0 + self.rho) * self.eps
-        for i, slot in enumerate(core):
-            if i + 1 >= len(core):
-                break
-            rest = core[i + 1 :]
-            dists = self._distances_to_slots(self._centers[slot].payload, rest)
-            for offset in np.flatnonzero(dists <= threshold):
-                uf.union(i, i + 1 + int(offset))
+        if len(core) > 1:
+            # One many-to-many block over the core centers replaces the
+            # per-center sweep.
+            batch = self._slot_batch(core)
+            red_threshold = self.metric.reduce_threshold(
+                (1.0 + self.rho) * self.eps
+            )
+            block = self.metric.reduced_cross(batch, batch)
+            rows, cols = np.nonzero(block <= red_threshold)
+            upper = rows < cols
+            for i, j in zip(rows[upper], cols[upper]):
+                uf.union(int(i), int(j))
         labels = uf.component_labels(range(len(core)))
         self._center_cluster = {slot: labels[i] for i, slot in enumerate(core)}
         self._clusters_dirty = False
@@ -229,9 +308,10 @@ class WindowedApproxDBSCAN:
         core_slots = list(self._center_cluster)
         if not core_slots:
             return -1
-        dists = self._distances_to_slots(payload, core_slots)
-        pos = int(np.argmin(dists))
-        if float(dists[pos]) <= (1.0 + self.rho / 2.0) * self.eps:
+        red = self._reduced_to_slots(payload, core_slots)
+        pos = int(np.argmin(red))
+        red_radius = self.metric.reduce_threshold((1.0 + self.rho / 2.0) * self.eps)
+        if float(red[pos]) <= red_radius:
             return self._center_cluster[core_slots[pos]]
         return -1
 

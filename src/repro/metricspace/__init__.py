@@ -20,7 +20,11 @@ and their complexity is stated in units of distance evaluations
 from repro.metricspace.base import Metric
 from repro.metricspace.cosine import CosineMetric
 from repro.metricspace.counting import CountingMetric
-from repro.metricspace.dataset import MetricDataset
+from repro.metricspace.dataset import (
+    DEFAULT_BLOCK_BYTES,
+    MetricDataset,
+    rows_per_block,
+)
 from repro.metricspace.editdistance import EditDistanceMetric, levenshtein
 from repro.metricspace.euclidean import EuclideanMetric
 from repro.metricspace.hamming import HammingMetric
@@ -43,4 +47,6 @@ __all__ = [
     "JaccardMetric",
     "CountingMetric",
     "MetricDataset",
+    "DEFAULT_BLOCK_BYTES",
+    "rows_per_block",
 ]

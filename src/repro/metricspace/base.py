@@ -1,4 +1,4 @@
-"""The :class:`Metric` interface.
+"""The :class:`Metric` interface and the batch-dispatch contract.
 
 A metric in this package is a distance function over *payloads* (the raw
 points: numpy rows, strings, sets, ...).  Algorithms never call metrics
@@ -6,22 +6,67 @@ directly on payloads; they go through
 :class:`~repro.metricspace.dataset.MetricDataset`, which resolves integer
 indices to payloads and dispatches to the (possibly vectorized) methods
 defined here.
+
+Batch-dispatch contract
+-----------------------
+The hot loops of every solver are *many-to-many* distance computations:
+``Q`` query payloads against ``T`` target payloads.  The contract has
+three tiers, each with a scalar fallback so a new metric only has to
+implement :meth:`Metric.distance` to be correct everywhere:
+
+1. :meth:`Metric.distance` — one pair.  Mandatory.
+2. :meth:`Metric.distance_many` / :meth:`Metric.cross` — one-to-many and
+   many-to-many kernels.  The defaults loop over :meth:`distance`;
+   vector metrics (``is_vector_metric = True``) override them with
+   numpy-vectorized versions (e.g. the squared-norm expansion for
+   Euclidean).  ``cross(A, B)`` returns a ``(len(A), len(B))`` float64
+   matrix.
+3. *Reduced distances* — a monotone surrogate that is cheaper to
+   compute, in the style of scikit-learn's ``rdist``.  For Euclidean the
+   reduced distance is the *squared* distance (no square root); for the
+   angular metric it is the negated cosine.  Solvers that only compare
+   distances against a threshold, or take a min/argmin, work entirely in
+   reduced space via :meth:`reduced_cross` / :meth:`reduced_distance_many`,
+   converting thresholds once with :meth:`reduce_threshold` and
+   converting results back (rarely needed) with :meth:`expand_reduced`.
+   The reduction must be strictly increasing on the metric's range so
+   that comparisons and argmins are preserved exactly; the identity
+   defaults make every metric correct without opting in.
+
+Block sizing is the caller's job: :meth:`MetricDataset.cross_blocks`
+slices the query side so one block of the distance matrix stays within a
+byte budget, which keeps the working set cache-friendly and the peak
+memory bounded regardless of ``len(Q) * len(T)``.
+
+How a new metric opts in
+------------------------
+- implement :meth:`distance`; set ``is_vector_metric = True`` when
+  payloads are rows of a 2-D array;
+- override :meth:`distance_many` and :meth:`cross` with vectorized
+  kernels when possible;
+- if a monotone surrogate is cheaper, override :meth:`reduced_cross`,
+  :meth:`reduced_distance_many`, :meth:`reduce_threshold` and
+  :meth:`expand_reduced` *together* — they must describe the same
+  transform.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Sequence
+from typing import Any, Sequence, Union
 
 import numpy as np
+
+ArrayLike = Union[np.ndarray, Sequence[Any]]
 
 
 class Metric(ABC):
     """A distance function ``dis(a, b)`` satisfying the metric axioms.
 
     Subclasses must implement :meth:`distance`.  Metrics over numpy
-    vectors should also override :meth:`distance_many` with a vectorized
-    implementation; the default is a Python loop.
+    vectors should also override :meth:`distance_many` and :meth:`cross`
+    with vectorized implementations; the defaults are Python loops.  See
+    the module docstring for the full batch-dispatch contract.
     """
 
     #: Whether payloads are rows of a 2-D numpy array.  When ``True``,
@@ -42,6 +87,68 @@ class Metric(ABC):
         one entry per element of ``batch``.
         """
         return np.array([self.distance(a, b) for b in batch], dtype=np.float64)
+
+    def cross(self, queries: ArrayLike, targets: ArrayLike) -> np.ndarray:
+        """Many-to-many block kernel: ``(len(queries), len(targets))``
+        matrix of distances.
+
+        The default loops :meth:`distance_many` over the query rows;
+        vector metrics override this with one blocked numpy kernel.
+        Either side may be empty, yielding an empty matrix of the right
+        shape.
+        """
+        nq, nt = len(queries), len(targets)
+        out = np.empty((nq, nt), dtype=np.float64)
+        if nt == 0:
+            return out
+        for i in range(nq):
+            out[i] = self.distance_many(queries[i], targets)
+        return out
+
+    def pair_distances(self, a_batch: ArrayLike, b_batch: ArrayLike) -> np.ndarray:
+        """Aligned one-to-one kernel: ``d(a_batch[i], b_batch[i])``.
+
+        The sparse companion of :meth:`cross` — callers that prune a
+        dense block down to a COO list of (query, target) pairs evaluate
+        exactly those pairs in one call.  Both sides must have equal
+        length.  The default loops; vector metrics override with a
+        row-wise kernel.
+        """
+        return np.array(
+            [self.distance(a, b) for a, b in zip(a_batch, b_batch)],
+            dtype=np.float64,
+        )
+
+    # ------------------------------------------------------------------
+    # Reduced (monotone-surrogate) distances
+
+    def reduce_threshold(self, threshold: float) -> float:
+        """Map a true-distance threshold into reduced space.
+
+        Identity by default.  Must be strictly increasing on the
+        metric's range so ``d <= t  <=>  reduced(d) <= reduce_threshold(t)``.
+        """
+        return threshold
+
+    def expand_reduced(self, values: Any) -> Any:
+        """Map reduced distances (scalar or array) back to true distances."""
+        return values
+
+    def reduced_distance_many(self, a: Any, batch: Sequence[Any]) -> np.ndarray:
+        """One-to-many distances in reduced space (default: true distances)."""
+        return self.distance_many(a, batch)
+
+    def reduced_cross(self, queries: ArrayLike, targets: ArrayLike) -> np.ndarray:
+        """Many-to-many block kernel in reduced space (default: true)."""
+        return self.cross(queries, targets)
+
+    def reduced_pair_distances(
+        self, a_batch: ArrayLike, b_batch: ArrayLike
+    ) -> np.ndarray:
+        """Aligned one-to-one kernel in reduced space (default: true)."""
+        return self.pair_distances(a_batch, b_batch)
+
+    # ------------------------------------------------------------------
 
     def pairwise(self, batch: Sequence[Any]) -> np.ndarray:
         """Full symmetric pairwise distance matrix over ``batch``.

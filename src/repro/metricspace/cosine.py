@@ -5,6 +5,11 @@ inequality, which the paper's algorithms rely on (Lemma 2 is a pure
 triangle-inequality argument).  We therefore expose the *angular*
 distance ``arccos(cos(a, b))`` in radians, which is a true metric on the
 unit sphere — appropriate for GloVe-style embedding workloads.
+
+The reduced distance is the *negated cosine similarity*: ``arccos`` is
+strictly decreasing, so ``-cos`` is strictly increasing with the angular
+distance and threshold tests / argmins need no ``arccos`` at all.  The
+block kernel is a single normalized matrix product.
 """
 
 from __future__ import annotations
@@ -22,6 +27,16 @@ def _safe_unit(v: np.ndarray) -> np.ndarray:
     return v / norm
 
 
+def _safe_unit_rows(batch: np.ndarray) -> np.ndarray:
+    batch = np.asarray(batch, dtype=np.float64)
+    if batch.ndim == 1:
+        batch = batch.reshape(1, -1)
+    norms = np.linalg.norm(batch, axis=1)
+    if np.any(norms == 0.0):
+        raise ValueError("angular distance is undefined for the zero vector")
+    return batch / norms[:, None]
+
+
 class CosineMetric(Metric):
     """Angular distance in radians: ``d(a,b) = arccos(<a,b>/|a||b|)``.
 
@@ -36,12 +51,49 @@ class CosineMetric(Metric):
         return float(np.arccos(cos))
 
     def distance_many(self, a: np.ndarray, batch: np.ndarray) -> np.ndarray:
-        batch = np.asarray(batch, dtype=np.float64)
-        if batch.ndim == 1:
-            batch = batch.reshape(1, -1)
+        return np.arccos(-self.reduced_distance_many(a, batch))
+
+    def cross(self, queries: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Normalized dot-product block kernel."""
+        neg_cos = self.reduced_cross(queries, targets)
+        neg_cos *= -1.0
+        return np.arccos(neg_cos, out=neg_cos)
+
+    # ------------------------------------------------------------------
+    # Reduced space: negated cosine similarity (monotone, no arccos)
+
+    def reduce_threshold(self, threshold: float) -> float:
+        return -float(np.cos(np.clip(threshold, 0.0, np.pi)))
+
+    def expand_reduced(self, values):
+        return np.arccos(np.clip(-np.asarray(values, dtype=np.float64), -1.0, 1.0))
+
+    def reduced_distance_many(self, a: np.ndarray, batch: np.ndarray) -> np.ndarray:
         ua = _safe_unit(a)
-        norms = np.linalg.norm(batch, axis=1)
-        if np.any(norms == 0.0):
-            raise ValueError("angular distance is undefined for the zero vector")
-        cos = np.clip((batch @ ua) / norms, -1.0, 1.0)
-        return np.arccos(cos)
+        cos = np.clip(_safe_unit_rows(batch) @ ua, -1.0, 1.0)
+        return -cos
+
+    def pair_distances(self, a_batch: np.ndarray, b_batch: np.ndarray) -> np.ndarray:
+        neg_cos = self.reduced_pair_distances(a_batch, b_batch)
+        neg_cos *= -1.0
+        return np.arccos(neg_cos, out=neg_cos)
+
+    def reduced_pair_distances(
+        self, a_batch: np.ndarray, b_batch: np.ndarray
+    ) -> np.ndarray:
+        cos = np.einsum(
+            "ij,ij->i", _safe_unit_rows(a_batch), _safe_unit_rows(b_batch)
+        )
+        np.clip(cos, -1.0, 1.0, out=cos)
+        cos *= -1.0
+        return cos
+
+    def reduced_cross(self, queries: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        uq = _safe_unit_rows(queries)
+        ut = _safe_unit_rows(targets)
+        if uq.shape[0] == 0 or ut.shape[0] == 0:
+            return np.empty((uq.shape[0], ut.shape[0]), dtype=np.float64)
+        cos = uq @ ut.T
+        np.clip(cos, -1.0, 1.0, out=cos)
+        cos *= -1.0
+        return cos

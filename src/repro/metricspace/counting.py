@@ -53,6 +53,45 @@ class CountingMetric(Metric):
         self.calls += 1
         return out
 
+    def cross(self, queries: Any, targets: Any) -> np.ndarray:
+        out = self.inner.cross(queries, targets)
+        self.count += out.size
+        self.calls += 1
+        return out
+
+    def pair_distances(self, a_batch: Any, b_batch: Any) -> np.ndarray:
+        out = self.inner.pair_distances(a_batch, b_batch)
+        self.count += len(out)
+        self.calls += 1
+        return out
+
+    # Reduced-space calls delegate to the inner metric's transform so the
+    # wrapper stays invisible to solvers working in reduced space.
+
+    def reduce_threshold(self, threshold: float) -> float:
+        return self.inner.reduce_threshold(threshold)
+
+    def expand_reduced(self, values: Any) -> Any:
+        return self.inner.expand_reduced(values)
+
+    def reduced_distance_many(self, a: Any, batch: Sequence[Any]) -> np.ndarray:
+        out = self.inner.reduced_distance_many(a, batch)
+        self.count += len(out)
+        self.calls += 1
+        return out
+
+    def reduced_cross(self, queries: Any, targets: Any) -> np.ndarray:
+        out = self.inner.reduced_cross(queries, targets)
+        self.count += out.size
+        self.calls += 1
+        return out
+
+    def reduced_pair_distances(self, a_batch: Any, b_batch: Any) -> np.ndarray:
+        out = self.inner.reduced_pair_distances(a_batch, b_batch)
+        self.count += len(out)
+        self.calls += 1
+        return out
+
     def pairwise(self, batch: Sequence[Any]) -> np.ndarray:
         out = self.inner.pairwise(batch)
         m = len(batch)

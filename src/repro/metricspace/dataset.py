@@ -8,7 +8,7 @@ sees every evaluation.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence, Union
+from typing import Any, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -17,6 +17,36 @@ from repro.metricspace.counting import CountingMetric
 from repro.metricspace.euclidean import EuclideanMetric
 
 IndexArray = Union[Sequence[int], np.ndarray]
+
+#: Default byte budget for one block of a chunked cross computation.
+#: 8 MiB of float64 keeps a block well inside L3 on common hardware
+#: while amortizing the per-call numpy overhead over ~1M entries.
+DEFAULT_BLOCK_BYTES = 8 << 20
+
+
+def rows_per_block(n_targets: int, block_bytes: int = DEFAULT_BLOCK_BYTES) -> int:
+    """Number of query rows per block so one ``(rows, n_targets)``
+    float64 distance block stays within ``block_bytes`` (always >= 1)."""
+    if block_bytes <= 0:
+        raise ValueError(f"block_bytes must be positive, got {block_bytes}")
+    return max(1, int(block_bytes) // (8 * max(1, int(n_targets))))
+
+
+def pairs_per_slice(
+    dataset: "MetricDataset", slice_bytes: int = 16 * DEFAULT_BLOCK_BYTES
+) -> int:
+    """Aligned-pair slice length whose gathered operands stay within
+    ``slice_bytes`` — dimension-aware, so high-dimensional payloads get
+    proportionally shorter slices (always >= 1).
+
+    One slice of ``k`` pairs gathers two ``(k, d)`` float64 operands
+    plus a same-sized temporary inside the kernel.
+    """
+    if dataset.metric.is_vector_metric:
+        dim = int(np.asarray(dataset.points).shape[1])
+    else:
+        dim = 1
+    return max(1, int(slice_bytes) // (3 * 8 * max(1, dim)))
 
 
 class MetricDataset:
@@ -59,6 +89,10 @@ class MetricDataset:
             self._n = len(self._points)
         if self._n == 0:
             raise ValueError("MetricDataset requires at least one point")
+        # Batch-engine instrumentation: block kernel invocations and the
+        # number of distance entries they produced (see cross/cross_blocks).
+        self.n_cross_blocks = 0
+        self.n_cross_evals = 0
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -116,6 +150,89 @@ class MetricDataset:
             return np.empty(0, dtype=np.float64)
         return self.metric.distance_many(payload, batch)
 
+    def reduced_distances_from(
+        self, i: int, indices: Optional[IndexArray] = None
+    ) -> np.ndarray:
+        """Reduced-space variant of :meth:`distances_from`."""
+        batch = self._points if indices is None else self.gather(indices)
+        if len(batch) == 0:
+            return np.empty(0, dtype=np.float64)
+        return self.metric.reduced_distance_many(self._points[i], batch)
+
+    def cross(
+        self,
+        queries: Optional[IndexArray] = None,
+        targets: Optional[IndexArray] = None,
+        reduced: bool = False,
+    ) -> np.ndarray:
+        """Many-to-many distance block between two index sets.
+
+        ``None`` means *all points* on that side.  ``reduced=True``
+        returns monotone-surrogate distances (see
+        :mod:`repro.metricspace.base`) — compare them against
+        ``metric.reduce_threshold(t)``, never against raw thresholds.
+        """
+        q = self._points if queries is None else self.gather(queries)
+        t = self._points if targets is None else self.gather(targets)
+        kernel = self.metric.reduced_cross if reduced else self.metric.cross
+        block = kernel(q, t)
+        self.n_cross_blocks += 1
+        self.n_cross_evals += block.size
+        return block
+
+    def pair(
+        self,
+        a_indices: IndexArray,
+        b_indices: IndexArray,
+        reduced: bool = False,
+    ) -> np.ndarray:
+        """Aligned one-to-one distances ``d(a_indices[i], b_indices[i])``.
+
+        The COO companion of :meth:`cross`: callers that prune a dense
+        block to a sparse pair list evaluate exactly those pairs in one
+        vectorized call.
+        """
+        a = self.gather(a_indices)
+        b = self.gather(b_indices)
+        kernel = (
+            self.metric.reduced_pair_distances
+            if reduced
+            else self.metric.pair_distances
+        )
+        out = kernel(a, b)
+        self.n_cross_blocks += 1
+        self.n_cross_evals += len(out)
+        return out
+
+    def cross_blocks(
+        self,
+        queries: Optional[IndexArray] = None,
+        targets: Optional[IndexArray] = None,
+        block_bytes: int = DEFAULT_BLOCK_BYTES,
+        reduced: bool = False,
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Chunked iterator over the ``(queries, targets)`` distance matrix.
+
+        Yields ``(query_indices_chunk, block)`` pairs where ``block`` has
+        shape ``(len(chunk), len(targets))``; the query side is sliced so
+        each float64 block stays within ``block_bytes``.  Peak memory is
+        therefore bounded regardless of ``len(queries) * len(targets)``.
+        """
+        q = np.arange(self._n, dtype=np.intp) if queries is None else np.asarray(
+            queries, dtype=np.intp
+        )
+        t_idx = None if targets is None else np.asarray(targets, dtype=np.intp)
+        t = self._points if t_idx is None else self.gather(t_idx)
+        n_targets = self._n if t_idx is None else len(t_idx)
+        kernel = self.metric.reduced_cross if reduced else self.metric.cross
+        step = rows_per_block(n_targets, block_bytes)
+        for start in range(0, len(q), step):
+            chunk = q[start : start + step]
+            block = kernel(self.gather(chunk), t)
+            self.n_cross_blocks += 1
+            self.n_cross_evals += block.size
+            yield chunk, block
+
     def pairwise(self, indices: Optional[IndexArray] = None) -> np.ndarray:
         """Pairwise distance matrix over ``indices`` (all points if None).
 
@@ -140,6 +257,8 @@ class MetricDataset:
         counted.metric = CountingMetric(self.metric)
         counted._points = self._points
         counted._n = self._n
+        counted.n_cross_blocks = 0
+        counted.n_cross_evals = 0
         return counted
 
     def __repr__(self) -> str:

@@ -34,11 +34,47 @@ class MinkowskiMetric(Metric):
         return float(np.sum(diff**self.p) ** (1.0 / self.p))
 
     def distance_many(self, a: np.ndarray, batch: np.ndarray) -> np.ndarray:
+        return self.reduced_distance_many(a, batch) ** (1.0 / self.p)
+
+    def cross(self, queries: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        return self.reduced_cross(queries, targets) ** (1.0 / self.p)
+
+    def pair_distances(self, a_batch: np.ndarray, b_batch: np.ndarray) -> np.ndarray:
+        return self.reduced_pair_distances(a_batch, b_batch) ** (1.0 / self.p)
+
+    def reduced_pair_distances(
+        self, a_batch: np.ndarray, b_batch: np.ndarray
+    ) -> np.ndarray:
+        a = np.atleast_2d(np.asarray(a_batch, dtype=np.float64))
+        b = np.atleast_2d(np.asarray(b_batch, dtype=np.float64))
+        return np.sum(np.abs(a - b) ** self.p, axis=1)
+
+    # ------------------------------------------------------------------
+    # Reduced space: the p-th power of the distance (monotone, no root)
+
+    def reduce_threshold(self, threshold: float) -> float:
+        return float(threshold) ** self.p
+
+    def expand_reduced(self, values):
+        return np.asarray(values, dtype=np.float64) ** (1.0 / self.p)
+
+    def reduced_distance_many(self, a: np.ndarray, batch: np.ndarray) -> np.ndarray:
         batch = np.asarray(batch, dtype=np.float64)
         if batch.ndim == 1:
             batch = batch.reshape(1, -1)
         diff = np.abs(batch - np.asarray(a, dtype=np.float64))
-        return np.sum(diff**self.p, axis=1) ** (1.0 / self.p)
+        return np.sum(diff**self.p, axis=1)
+
+    def reduced_cross(self, queries: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim == 1:
+            queries = queries.reshape(1, -1)
+        out = np.empty((queries.shape[0], len(targets)), dtype=np.float64)
+        if out.shape[1] == 0:
+            return out
+        for i in range(queries.shape[0]):
+            out[i] = self.reduced_distance_many(queries[i], targets)
+        return out
 
     def __repr__(self) -> str:
         return f"MinkowskiMetric(p={self.p})"

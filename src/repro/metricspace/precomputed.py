@@ -74,6 +74,20 @@ class PrecomputedMetric(Metric):
             np.float64
         )
 
+    def cross(self, queries: Sequence[int], targets: Sequence[int]) -> np.ndarray:
+        q = np.asarray(queries, dtype=np.intp)
+        t = np.asarray(targets, dtype=np.intp)
+        if q.size == 0 or t.size == 0:
+            return np.empty((q.size, t.size), dtype=np.float64)
+        return self.matrix[np.ix_(q, t)].astype(np.float64)
+
+    def pair_distances(
+        self, a_batch: Sequence[int], b_batch: Sequence[int]
+    ) -> np.ndarray:
+        a = np.asarray(a_batch, dtype=np.intp)
+        b = np.asarray(b_batch, dtype=np.intp)
+        return self.matrix[a, b].astype(np.float64)
+
     def pairwise(self, batch: Sequence[int]) -> np.ndarray:
         idx = np.asarray(batch, dtype=np.intp)
         return self.matrix[np.ix_(idx, idx)].astype(np.float64)

@@ -53,16 +53,27 @@ class Stopwatch:
 
 @dataclass
 class TimingBreakdown:
-    """Named cumulative phase timings for one solver run.
+    """Named cumulative phase timings plus counters for one solver run.
 
     Attributes
     ----------
     phases:
         Mapping from phase name (e.g. ``"gonzalez"``, ``"label_cores"``,
         ``"merge"``, ``"label_borders"``) to cumulative seconds.
+    counters:
+        Mapping from counter name to a cumulative integer.  The batched
+        distance engine records ``distance_evals`` (entries produced by
+        block kernels) and ``distance_blocks`` (kernel invocations) here
+        so benches can report the batching efficiency alongside wall
+        time.
     """
 
     phases: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Accumulate ``amount`` into counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0) + int(amount)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -91,9 +102,11 @@ class TimingBreakdown:
         return self.phases.get(name, 0.0) / total
 
     def merge(self, other: "TimingBreakdown") -> None:
-        """Accumulate another breakdown's phases into this one."""
+        """Accumulate another breakdown's phases and counters into this one."""
         for name, seconds in other.phases.items():
             self.phases[name] = self.phases.get(name, 0.0) + seconds
+        for name, amount in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + amount
 
     def as_dict(self) -> Dict[str, float]:
         """Copy of the phase map (safe to mutate)."""

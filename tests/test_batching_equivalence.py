@@ -1,0 +1,117 @@
+"""Equivalence regression tests for the batched distance engine.
+
+The solvers must produce identical core-point partitions whether
+distances flow through the vectorized block kernels or through the
+scalar ``Metric.distance`` fallback loops (the pre-batching code path).
+A wrapper metric that hides every vectorized override forces the scalar
+path; outputs are compared via ``core_partition`` on seeded synthetic
+datasets.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import core_partition
+
+from repro import (
+    ApproxMetricDBSCAN,
+    MetricDBSCAN,
+    MetricDataset,
+    StreamingApproxDBSCAN,
+)
+from repro.core.windowed import WindowedApproxDBSCAN
+from repro.datasets import make_blobs, make_moons
+from repro.metricspace import EuclideanMetric, Metric
+
+
+class ScalarizedEuclidean(Metric):
+    """Euclidean distance stripped of every vectorized override.
+
+    ``is_vector_metric`` stays False, so payloads live in a list and all
+    batch/cross/pair kernels fall back to the base-class scalar loops —
+    the reference semantics the batched engine must reproduce.
+    """
+
+    is_vector_metric = False
+
+    def __init__(self) -> None:
+        self._inner = EuclideanMetric()
+
+    def distance(self, a, b) -> float:
+        return self._inner.distance(a, b)
+
+
+def _instances():
+    blobs, _ = make_blobs(
+        n=240, n_clusters=3, dim=2, std=0.3, spread=8.0,
+        outlier_fraction=0.08, seed=5,
+    )
+    moons, _ = make_moons(n=240, noise=0.05, outlier_fraction=0.05, seed=11)
+    return [("blobs", blobs, 0.8, 6), ("moons", moons, 0.15, 6)]
+
+
+@pytest.mark.parametrize("name,pts,eps,min_pts", _instances(),
+                         ids=[i[0] for i in _instances()])
+def test_exact_partition_matches_scalar_path(name, pts, eps, min_pts):
+    fast = MetricDBSCAN(eps, min_pts).fit(MetricDataset(pts))
+    slow = MetricDBSCAN(eps, min_pts).fit(
+        MetricDataset(list(pts), ScalarizedEuclidean())
+    )
+    assert np.array_equal(fast.core_mask, slow.core_mask)
+    assert core_partition(fast.labels, fast.core_mask) == core_partition(
+        slow.labels, slow.core_mask
+    )
+
+
+@pytest.mark.parametrize("name,pts,eps,min_pts", _instances(),
+                         ids=[i[0] for i in _instances()])
+def test_approx_partition_matches_scalar_path(name, pts, eps, min_pts):
+    fast = ApproxMetricDBSCAN(eps, min_pts, rho=0.5).fit(MetricDataset(pts))
+    slow = ApproxMetricDBSCAN(eps, min_pts, rho=0.5).fit(
+        MetricDataset(list(pts), ScalarizedEuclidean())
+    )
+    assert np.array_equal(fast.core_mask, slow.core_mask)
+    assert core_partition(fast.labels, fast.core_mask) == core_partition(
+        slow.labels, slow.core_mask
+    )
+
+
+@pytest.mark.parametrize("name,pts,eps,min_pts", _instances(),
+                         ids=[i[0] for i in _instances()])
+def test_streaming_labels_match_scalar_path(name, pts, eps, min_pts):
+    fast = StreamingApproxDBSCAN(eps, min_pts, rho=0.5).fit(MetricDataset(pts))
+    slow = StreamingApproxDBSCAN(
+        eps, min_pts, rho=0.5, metric=ScalarizedEuclidean()
+    ).fit(MetricDataset(list(pts), ScalarizedEuclidean()))
+    assert np.array_equal(fast.labels, slow.labels)
+    assert fast.stats["n_centers"] == slow.stats["n_centers"]
+    assert fast.stats["summary_size"] == slow.stats["summary_size"]
+
+
+def test_exact_and_approx_share_known_core_partition():
+    """The approx solver's known-core points must partition identically
+    to the exact solver's (restricted to the known-core subset)."""
+    pts, _ = make_blobs(
+        n=300, n_clusters=3, dim=2, std=0.25, spread=9.0,
+        outlier_fraction=0.05, seed=3,
+    )
+    eps, min_pts = 0.8, 6
+    exact = MetricDBSCAN(eps, min_pts).fit(MetricDataset(pts))
+    approx = ApproxMetricDBSCAN(eps, min_pts, rho=0.5).fit(MetricDataset(pts))
+    # Every known-core point of the approx run is core in the exact run.
+    assert np.all(exact.core_mask[approx.core_mask])
+
+
+def test_windowed_insert_many_matches_insert():
+    pts, _ = make_moons(n=300, noise=0.06, outlier_fraction=0.05, seed=2)
+    one = WindowedApproxDBSCAN(0.3, 5, rho=0.5, window=120, n_buckets=6)
+    many = WindowedApproxDBSCAN(0.3, 5, rho=0.5, window=120, n_buckets=6)
+    for row in pts:
+        one.insert(row)
+    many.insert_many(pts)
+    assert one.n_seen == many.n_seen
+    assert one.n_live_centers == many.n_live_centers
+    assert one.n_clusters == many.n_clusters
+    queries = pts[:: 29]
+    for q in queries:
+        assert one.predict(q) == many.predict(q)

@@ -1,7 +1,21 @@
 """End-to-end check that ``python -m repro`` works as a subprocess."""
 
+import os
 import subprocess
 import sys
+from pathlib import Path
+
+import repro
+
+
+def _env_with_repro_on_path():
+    """Subprocess env whose PYTHONPATH can resolve the package, whether
+    or not the parent was launched with PYTHONPATH=src set."""
+    env = dict(os.environ)
+    pkg_root = str(Path(repro.__file__).resolve().parent.parent)
+    parts = [pkg_root] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    env["PYTHONPATH"] = os.pathsep.join(parts)
+    return env
 
 
 def test_python_dash_m_repro_datasets():
@@ -10,6 +24,7 @@ def test_python_dash_m_repro_datasets():
         capture_output=True,
         text=True,
         timeout=120,
+        env=_env_with_repro_on_path(),
     )
     assert proc.returncode == 0
     assert "moons" in proc.stdout
@@ -25,6 +40,7 @@ def test_python_dash_m_repro_cluster():
         capture_output=True,
         text=True,
         timeout=300,
+        env=_env_with_repro_on_path(),
     )
     assert proc.returncode == 0
     assert "ARI" in proc.stdout

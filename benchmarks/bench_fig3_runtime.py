@@ -38,7 +38,7 @@ from repro.baselines import DBSCANPlusPlus, DYWDBSCAN, GanTaoDBSCAN, OriginalDBS
 from repro.datasets import load_dataset, make_moons
 from repro.metricspace import EuclideanMetric
 
-from common import format_table, timed, write_report
+from common import format_counter, format_table, timed, write_report
 
 MIN_PTS = 10
 RHO = 0.5
@@ -76,10 +76,13 @@ def run_sweep(name):
                 loaded.dataset.points, loaded.dataset.metric
             ).with_counting()
             result, seconds = timed(lambda: factory(eps).fit(counted))
+            counters = result.timings.counters
             rows.append((
                 f"{eps:g}", algo_name, f"{seconds:.3f}",
                 f"{counted.metric.count:,}",
                 f"{counted.n_cross_blocks:,}",
+                format_counter(counters, "n_range_queries"),
+                format_counter(counters, "n_candidates"),
                 result.n_clusters, result.n_noise,
             ))
     return loaded, rows
@@ -87,6 +90,7 @@ def run_sweep(name):
 
 SWEEP_COLUMNS = [
     "eps", "algorithm", "seconds", "distance evals", "kernel blocks",
+    "range queries", "candidates",
     "clusters", "noise",
 ]
 

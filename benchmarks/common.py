@@ -37,6 +37,13 @@ def timed(fn: Callable[[], object]) -> Tuple[object, float]:
     return result, time.perf_counter() - start
 
 
+def format_counter(counters: dict, key: str) -> str:
+    """Render a ``TimingBreakdown`` counter, or ``n/a`` when the solver
+    run never populated it (e.g. index counters on a non-index path) —
+    a literal 0 would misread as 'measured and free'."""
+    return f"{counters[key]:,}" if key in counters else "n/a"
+
+
 def format_table(header: Sequence[str], rows: Iterable[Sequence[object]]) -> List[str]:
     """Fixed-width text table."""
     rows = [tuple(str(c) for c in row) for row in rows]

@@ -15,6 +15,9 @@ Public API highlights
   the radius-guided k-center net underpinning everything.
 - :class:`~repro.metricspace.MetricDataset` plus concrete metrics
   (Euclidean, Minkowski, edit distance, angular, ...).
+- :mod:`repro.index` — pluggable neighbor-search backends (brute,
+  grid, cover tree) behind one range/kNN interface; solvers accept
+  ``index="grid"`` etc.
 - :mod:`repro.baselines` — every comparison algorithm of Section 5.
 - :mod:`repro.evaluation` — ARI / AMI / NMI from first principles.
 - :mod:`repro.datasets` — synthetic stand-ins for the paper's datasets.
@@ -47,6 +50,13 @@ from repro.core import (
     radius_guided_gonzalez,
 )
 from repro.covertree import CoverTree
+from repro.index import (
+    BruteForceIndex,
+    CoverTreeIndex,
+    GridIndex,
+    NeighborIndex,
+    build_index,
+)
 from repro.metricspace import (
     CosineMetric,
     CountingMetric,
@@ -85,5 +95,10 @@ __all__ = [
     "HammingMetric",
     "JaccardMetric",
     "CountingMetric",
+    "NeighborIndex",
+    "BruteForceIndex",
+    "GridIndex",
+    "CoverTreeIndex",
+    "build_index",
     "__version__",
 ]

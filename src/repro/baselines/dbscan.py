@@ -22,6 +22,7 @@ from typing import List
 import numpy as np
 
 from repro.core.result import ClusteringResult
+from repro.index.registry import IndexSpec, build_index
 from repro.metricspace.dataset import MetricDataset
 from repro.utils.timer import TimingBreakdown
 from repro.utils.validation import check_epsilon, check_min_pts
@@ -35,6 +36,19 @@ class OriginalDBSCAN:
     eps, min_pts:
         The DBSCAN parameters; a point counts itself in its
         ε-neighborhood.
+    index:
+        Optional :mod:`repro.index` backend (name, instance, or
+        ``"auto"``) answering the ε-region queries — with a sparse
+        backend this replaces the ``Θ(n^2)`` scan with pruned
+        neighborhood queries while producing the identical clustering.
+        Composes with ``precompute_neighbors``: the precompute path
+        batches every region query up front (``"auto"`` precomputes
+        whenever an index is set, since adjacency memory is then
+        bounded by the true neighbor counts, not ``n^2``), while
+        ``precompute_neighbors=False`` keeps memory at one
+        neighborhood by streaming each BFS region query through the
+        index.  ``None`` (default) keeps the classic brute-force
+        behavior.
 
     Examples
     --------
@@ -52,11 +66,25 @@ class OriginalDBSCAN:
     #: stays O(n).
     AUTO_PRECOMPUTE_MAX_N = 8192
 
+    #: The "auto" precompute cap when an index backend is configured:
+    #: adjacency memory is then bounded by the true neighbor counts
+    #: rather than ``n^2``, so the cap is higher — but dense data with
+    #: a generous ε can still approach ``O(n^2)`` stored pairs, so
+    #: beyond this size region queries stream through the index.
+    AUTO_INDEX_PRECOMPUTE_MAX_N = 1 << 17
+
+    #: Adjacency id budget for the "auto" index precompute (512 MiB of
+    #: int64 ids): a dense-ε workload that blows past it mid-build
+    #: abandons the precompute and streams region queries instead, so
+    #: memory stays bounded no matter the neighborhood density.
+    AUTO_INDEX_ADJACENCY_MAX_IDS = 1 << 26
+
     def __init__(
         self,
         eps: float,
         min_pts: int,
         precompute_neighbors="auto",
+        index: IndexSpec = None,
     ) -> None:
         self.eps = check_epsilon(eps)
         self.min_pts = check_min_pts(min_pts)
@@ -66,12 +94,14 @@ class OriginalDBSCAN:
                 f"got {precompute_neighbors!r}"
             )
         self.precompute_neighbors = precompute_neighbors
+        self.index = index
 
     def fit(self, dataset: MetricDataset) -> ClusteringResult:
         """Cluster ``dataset`` with the original algorithm."""
         timings = TimingBreakdown()
         n = dataset.n
         eps = self.eps
+        evals0, blocks0 = dataset.n_cross_evals, dataset.n_cross_blocks
         labels = np.full(n, -1, dtype=np.int64)
         core_mask = np.zeros(n, dtype=bool)
         visited = np.zeros(n, dtype=bool)
@@ -81,18 +111,52 @@ class OriginalDBSCAN:
         if precompute == "auto":
             precompute = n <= self.AUTO_PRECOMPUTE_MAX_N
 
+        # Route ε-region queries through the configured neighbor-index
+        # backend (identical neighbor sets, sparse candidate
+        # generation).  An index makes precompute memory proportional
+        # to the true neighbor counts, so "auto" always precomputes.
+        index = None
+        if self.index is not None:
+            with timings.phase("build_index"):
+                index = build_index(self.index, dataset, radius_hint=eps)
+            if self.precompute_neighbors == "auto":
+                precompute = n <= self.AUTO_INDEX_PRECOMPUTE_MAX_N
+
         adjacency: List[np.ndarray] = []
         if precompute:
             with timings.phase("region_queries"):
-                red_eps = dataset.metric.reduce_threshold(eps)
-                for chunk, block in dataset.cross_blocks(reduced=True):
-                    hit = block <= red_eps
-                    for row in range(len(chunk)):
-                        adjacency.append(np.flatnonzero(hit[row]))
+                if index is not None:
+                    budget = (
+                        self.AUTO_INDEX_ADJACENCY_MAX_IDS
+                        if self.precompute_neighbors == "auto"
+                        else None
+                    )
+                    total = 0
+                    for lo in range(0, n, 4096):
+                        for ids, _ in index.range_query_batch(
+                            np.arange(lo, min(lo + 4096, n)), eps,
+                            with_distances=False,
+                        ):
+                            adjacency.append(ids)
+                            total += len(ids)
+                        if budget is not None and total > budget:
+                            # Dense-ε blow-up: abandon the precompute
+                            # and stream region queries instead.
+                            adjacency = []
+                            precompute = False
+                            break
+                else:
+                    red_eps = dataset.metric.reduce_threshold(eps)
+                    for chunk, block in dataset.cross_blocks(reduced=True):
+                        hit = block <= red_eps
+                        for row in range(len(chunk)):
+                            adjacency.append(np.flatnonzero(hit[row]))
 
         def region(idx: int) -> np.ndarray:
             if precompute:
                 return adjacency[idx]
+            if index is not None:
+                return index.range_query(idx, eps, with_distances=False)[0]
             dists = dataset.distances_from(idx)
             return np.flatnonzero(dists <= eps)
 
@@ -121,6 +185,11 @@ class OriginalDBSCAN:
                         core_mask[p] = True
                         queue.extend(p_neighbors)
 
+        if index is not None:
+            for counter, value in index.counters().items():
+                timings.count(counter, value)
+        timings.count("distance_evals", dataset.n_cross_evals - evals0)
+        timings.count("distance_blocks", dataset.n_cross_blocks - blocks0)
         return ClusteringResult(
             labels=labels,
             core_mask=core_mask,

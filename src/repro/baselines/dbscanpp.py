@@ -17,6 +17,8 @@ from typing import Literal
 import numpy as np
 
 from repro.core.result import ClusteringResult
+from repro.index.base import NeighborIndex
+from repro.index.registry import IndexSpec, build_index
 from repro.metricspace.dataset import MetricDataset
 from repro.utils.rng import SeedLike, check_random_state
 from repro.utils.timer import TimingBreakdown
@@ -37,7 +39,17 @@ class DBSCANPlusPlus:
         ``"uniform"`` or ``"kcenter"`` sampling.
     seed:
         RNG seed for uniform sampling / the k-center start point.
+    index:
+        Optional :mod:`repro.index` backend for the ε-neighborhood
+        computations (core tests of the sampled points, core-core
+        merging, and the final nearest-core assignment).  ``None``
+        (default) keeps the dense blocked scans; any backend produces
+        the identical clustering.
     """
+
+    #: Queries issued per index batch on the index path; bounds the
+    #: resident neighbor-id lists at one chunk's worth.
+    QUERY_CHUNK = 2048
 
     def __init__(
         self,
@@ -46,6 +58,7 @@ class DBSCANPlusPlus:
         ratio: float = 0.3,
         init: Literal["uniform", "kcenter"] = "uniform",
         seed: SeedLike = 0,
+        index: IndexSpec = None,
     ) -> None:
         self.eps = check_epsilon(eps)
         self.min_pts = check_min_pts(min_pts)
@@ -56,6 +69,7 @@ class DBSCANPlusPlus:
         self.ratio = float(ratio)
         self.init = init
         self.seed = seed
+        self.index = index
 
     def fit(self, dataset: MetricDataset) -> ClusteringResult:
         """Cluster ``dataset`` with DBSCAN++."""
@@ -71,28 +85,76 @@ class DBSCANPlusPlus:
             else:
                 sample = self._kcenter_sample(dataset, m, rng)
 
+        # When an index backend is configured, every ε-neighborhood
+        # below runs through it: the sampled core tests reuse one batch
+        # of range queries, the merge reuses those same answers, and
+        # the assignment queries a second index over the core points.
+        idx_all = (
+            build_index(self.index, dataset, radius_hint=eps)
+            if self.index is not None
+            else None
+        )
+
         red_eps = dataset.metric.reduce_threshold(eps)
         with timings.phase("label_cores"):
-            # One blocked pass: sampled rows against the full dataset.
-            core_rows = np.zeros(len(sample), dtype=bool)
-            pos = 0
-            for chunk, block in dataset.cross_blocks(queries=sample, reduced=True):
-                counts = np.count_nonzero(block <= red_eps, axis=1)
-                core_rows[pos : pos + len(chunk)] = counts >= self.min_pts
-                pos += len(chunk)
+            if idx_all is not None:
+                # Chunked queries, keeping only the per-point counts:
+                # retaining every neighbor-id list would cost
+                # O(sum |N(p)|) memory on dense-eps workloads.
+                core_rows = np.zeros(len(sample), dtype=bool)
+                for lo in range(0, len(sample), self.QUERY_CHUNK):
+                    hits = idx_all.range_query_batch(
+                        sample[lo : lo + self.QUERY_CHUNK], eps,
+                        with_distances=False,
+                    )
+                    for off, (ids, _) in enumerate(hits):
+                        core_rows[lo + off] = len(ids) >= self.min_pts
+            else:
+                # One blocked pass: sampled rows against the full dataset.
+                core_rows = np.zeros(len(sample), dtype=bool)
+                pos = 0
+                for chunk, block in dataset.cross_blocks(
+                    queries=sample, reduced=True
+                ):
+                    counts = np.count_nonzero(block <= red_eps, axis=1)
+                    core_rows[pos : pos + len(chunk)] = counts >= self.min_pts
+                    pos += len(chunk)
             core_arr = np.asarray(sample[core_rows], dtype=np.int64)
 
         with timings.phase("merge"):
             uf = UnionFind(len(core_arr))
-            start = 0
-            for chunk_pos, block in dataset.cross_blocks(
-                queries=core_arr, targets=core_arr, reduced=True
-            ):
-                rows, cols = np.nonzero(block <= red_eps)
-                for i, j in zip(rows + start, cols):
-                    if i < j:
-                        uf.union(int(i), int(j))
-                start += len(chunk_pos)
+            if idx_all is not None:
+                # Map each core point id to its *first* position in
+                # core_arr; duplicate sampled points (k-center sampling
+                # on data with exact duplicates) union with their first
+                # occurrence, reproducing the dense path's zero-distance
+                # edges.
+                core_position = np.full(n, -1, dtype=np.int64)
+                for p, idx in enumerate(core_arr):
+                    if core_position[idx] == -1:
+                        core_position[idx] = p
+                    else:
+                        uf.union(int(core_position[idx]), p)
+                for lo in range(0, len(core_arr), self.QUERY_CHUNK):
+                    hits = idx_all.range_query_batch(
+                        core_arr[lo : lo + self.QUERY_CHUNK], eps,
+                        with_distances=False,
+                    )
+                    for off, (ids, _) in enumerate(hits):
+                        i = lo + off
+                        js = core_position[ids]
+                        for j in np.unique(js[js > i]):
+                            uf.union(i, int(j))
+            else:
+                start = 0
+                for chunk_pos, block in dataset.cross_blocks(
+                    queries=core_arr, targets=core_arr, reduced=True
+                ):
+                    rows, cols = np.nonzero(block <= red_eps)
+                    for i, j in zip(rows + start, cols):
+                        if i < j:
+                            uf.union(int(i), int(j))
+                    start += len(chunk_pos)
             comp_map = uf.component_labels(range(len(core_arr)))
             comp = np.array(
                 [comp_map[i] for i in range(len(core_arr))], dtype=np.int64
@@ -102,7 +164,32 @@ class DBSCANPlusPlus:
             labels = np.full(n, -1, dtype=np.int64)
             core_mask = np.zeros(n, dtype=bool)
             core_mask[core_arr] = True
-            if len(core_arr) > 0:
+            if len(core_arr) > 0 and idx_all is not None:
+                # A second, separate index over the (unique) core
+                # points; when the spec is a pre-built instance, spawn
+                # an unbuilt sibling (same configuration) so idx_all is
+                # not clobbered in place.
+                core_spec = (
+                    self.index.spawn()
+                    if isinstance(self.index, NeighborIndex)
+                    else self.index
+                )
+                idx_core = build_index(
+                    core_spec, dataset, indices=np.unique(core_arr),
+                    radius_hint=eps,
+                )
+                for lo in range(0, n, self.QUERY_CHUNK):
+                    chunk = np.arange(lo, min(lo + self.QUERY_CHUNK, n))
+                    for off, (ids, dists) in enumerate(
+                        idx_core.range_query_batch(chunk, eps)
+                    ):
+                        if len(ids):
+                            labels[lo + off] = comp[
+                                core_position[ids[np.argmin(dists)]]
+                            ]
+                for counter, value in idx_core.counters().items():
+                    timings.count(counter, value)
+            elif len(core_arr) > 0:
                 for chunk, block in dataset.cross_blocks(
                     targets=core_arr, reduced=True
                 ):
@@ -110,6 +197,9 @@ class DBSCANPlusPlus:
                     dmin = block[np.arange(block.shape[0]), amin]
                     ok = dmin <= red_eps
                     labels[chunk[ok]] = comp[amin[ok]]
+        if idx_all is not None:
+            for counter, value in idx_all.counters().items():
+                timings.count(counter, value)
 
         return ClusteringResult(
             labels=labels,

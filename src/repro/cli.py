@@ -29,6 +29,7 @@ from repro.baselines import OriginalDBSCAN
 from repro.core import ApproxMetricDBSCAN, MetricDBSCAN, StreamingApproxDBSCAN
 from repro.datasets import REGISTRY, load_dataset
 from repro.evaluation import adjusted_mutual_information, adjusted_rand_index
+from repro.index import available_backends
 
 ALGORITHMS = ("exact", "approx", "streaming", "dbscan")
 
@@ -54,6 +55,12 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--size", type=int, default=None,
                          help="stand-in size (default: registry default)")
     cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--index", default=None, choices=available_backends(),
+                         help="neighbor-index backend; when omitted, exact/"
+                              "approx use the process default "
+                              "(REPRO_DEFAULT_INDEX env var, else auto) while "
+                              "dbscan keeps its classic brute-force scan — it "
+                              "is the paper's Theta(n^2) reference")
     return parser
 
 
@@ -74,12 +81,14 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         eps = (lo + hi) / 2.0
         print(f"(using eps={eps:g} from the dataset's suggested range)")
     solvers = {
-        "exact": lambda: MetricDBSCAN(eps, args.min_pts),
-        "approx": lambda: ApproxMetricDBSCAN(eps, args.min_pts, rho=args.rho),
+        "exact": lambda: MetricDBSCAN(eps, args.min_pts, index=args.index),
+        "approx": lambda: ApproxMetricDBSCAN(
+            eps, args.min_pts, rho=args.rho, index=args.index
+        ),
         "streaming": lambda: StreamingApproxDBSCAN(
             eps, args.min_pts, rho=args.rho, metric=loaded.dataset.metric
         ),
-        "dbscan": lambda: OriginalDBSCAN(eps, args.min_pts),
+        "dbscan": lambda: OriginalDBSCAN(eps, args.min_pts, index=args.index),
     }
     result = solvers[args.algo]().fit(loaded.dataset)
     print(f"dataset   : {args.dataset} (n={loaded.dataset.n}, "

@@ -26,6 +26,8 @@ import numpy as np
 from repro.core.gonzalez import GonzalezNet, radius_guided_gonzalez
 from repro.core.result import ClusteringResult
 from repro.core.summary import CoreSummary, build_summary
+from repro.index.netgraph import net_neighbor_sets
+from repro.index.registry import IndexSpec
 from repro.metricspace.dataset import MetricDataset, pairs_per_slice
 from repro.utils.timer import TimingBreakdown
 from repro.utils.unionfind import UnionFind
@@ -110,6 +112,12 @@ class ApproxMetricDBSCAN:
     r_bar:
         Net radius for preprocessing, default ``ρε/2``; any smaller
         value also works (Remark 6).
+    index:
+        Neighbor-index backend for the enlarged center merge graph of
+        Eq. (13) — a name from :mod:`repro.index`, a pre-configured
+        :class:`~repro.index.base.NeighborIndex`, or ``None`` for the
+        process default.  ``brute`` reuses the dense center-distance
+        matrix already harvested by Algorithm 1.
 
     Examples
     --------
@@ -127,6 +135,7 @@ class ApproxMetricDBSCAN:
         min_pts: int,
         rho: float = 0.5,
         r_bar: Optional[float] = None,
+        index: IndexSpec = None,
     ) -> None:
         self.eps = check_epsilon(eps)
         self.min_pts = check_min_pts(min_pts)
@@ -140,6 +149,7 @@ class ApproxMetricDBSCAN:
                 f"rho*eps/2={default_r_bar}"
             )
         self.r_bar = float(r_bar)
+        self.index = index
 
     @staticmethod
     def precompute(
@@ -182,7 +192,9 @@ class ApproxMetricDBSCAN:
         # r̄ <= ρε/2): captures every summary pair within (1+ρ)ε and
         # every point-to-summary pair within (1+ρ/2)ε.
         with timings.phase("neighbor_sets"):
-            neighbors = net.neighbor_centers(2.0 * net.r_bar + (1.0 + rho) * eps)
+            neighbors = net_neighbor_sets(
+                net, 2.0 * net.r_bar + (1.0 + rho) * eps, self.index, timings
+            )
 
         with timings.phase("build_summary"):
             summary = build_summary(dataset, net, eps, self.min_pts, neighbors)

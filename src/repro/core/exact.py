@@ -30,6 +30,8 @@ import numpy as np
 from repro.core.gonzalez import GonzalezNet, radius_guided_gonzalez
 from repro.core.result import ClusteringResult
 from repro.covertree.tree import CoverTree
+from repro.index.netgraph import net_neighbor_sets
+from repro.index.registry import IndexSpec
 from repro.metricspace.dataset import MetricDataset
 from repro.utils.timer import TimingBreakdown
 from repro.utils.unionfind import UnionFind
@@ -64,6 +66,15 @@ class MetricDBSCAN:
         carries ``stats["border_memberships"]``, a dict mapping each
         border point to the sorted list of every cluster owning a core
         point within ε of it.
+    index:
+        Neighbor-index backend answering the center-center merge graph
+        (see :mod:`repro.index`): a backend name (``"brute"``,
+        ``"grid"``, ``"covertree"``, ``"auto"``), a pre-configured
+        :class:`~repro.index.base.NeighborIndex`, or ``None`` for the
+        process default (``REPRO_DEFAULT_INDEX`` env var, else
+        ``auto``).  ``brute`` reuses the dense center-distance matrix
+        Algorithm 1 already harvested; the sparse backends avoid the
+        quadratic ``|E|^2`` scan that dominates in high dimensions.
 
     Examples
     --------
@@ -83,6 +94,7 @@ class MetricDBSCAN:
         use_cover_tree: bool = True,
         dense_shortcut: bool = True,
         collect_border_memberships: bool = False,
+        index: IndexSpec = None,
     ) -> None:
         self.eps = check_epsilon(eps)
         self.min_pts = check_min_pts(min_pts)
@@ -96,6 +108,7 @@ class MetricDBSCAN:
         self.use_cover_tree = bool(use_cover_tree)
         self.dense_shortcut = bool(dense_shortcut)
         self.collect_border_memberships = bool(collect_border_memberships)
+        self.index = index
 
     # ------------------------------------------------------------------
 
@@ -142,7 +155,9 @@ class MetricDBSCAN:
             timings.phases.setdefault("gonzalez", 0.0)
 
         with timings.phase("neighbor_sets"):
-            neighbors = net.neighbor_centers(2.0 * net.r_bar + eps)
+            neighbors = net_neighbor_sets(
+                net, 2.0 * net.r_bar + eps, self.index, timings
+            )
             cover = net.cover_sets()
 
         with timings.phase("label_cores"):

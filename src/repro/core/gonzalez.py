@@ -55,6 +55,7 @@ them:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -66,6 +67,11 @@ from repro.utils.validation import check_epsilon
 #: Centers selected per batched round; bounds the size of the in-round
 #: candidate working set between consecutive pair-list flushes.
 DEFAULT_ROUND_SIZE = 256
+
+#: Candidate-set size at which the in-round sequential pick switches
+#: from the eager argmax loop (O(k) per pick) to the lazy priority
+#: queue (O(log k) per pick plus per-candidate refreshes).
+LAZY_PICK_MIN = 64
 
 #: Relative slack applied to triangle-inequality pruning radii so a
 #: float rounding wobble can only *add* candidates, never drop one.
@@ -199,6 +205,55 @@ def _group_boundaries(assign: np.ndarray, m: int):
     return order, boundaries
 
 
+
+
+def _lazy_sequential_picks(
+    cand: np.ndarray,
+    top_cross: np.ndarray,
+    red_r: float,
+    bound: float,
+    budget: float,
+) -> List[int]:
+    """In-round farthest-first picks via a lazy priority queue.
+
+    Cached candidate distances are *upper bounds* (picks only shrink
+    them), so a candidate is refreshed only when it surfaces at the top
+    of the max-heap: fold in the picks made since its last sync, and if
+    its value survives unchanged it is certified as the true farthest
+    candidate — the classic lazy-greedy argument.  A pick therefore
+    costs ``O(log k)`` heap work plus one refresh, instead of the eager
+    loop's ``O(k)`` argmax + full update.
+
+    The produced pick sequence is *identical* to the eager loop's,
+    including exact-tie breaking: the heap orders by ``(-value,
+    position)``, matching ``np.argmax``'s first-maximum rule on the
+    fully-updated array.
+
+    ``cand`` is mutated (lazily synced); callers must not reuse it as
+    an up-to-date distance array afterwards.
+    """
+    heap = [(-v, i) for i, v in enumerate(cand.tolist())]
+    heapq.heapify(heap)
+    synced = np.zeros(cand.size, dtype=np.int64)
+    picks: List[int] = []
+    while heap and len(picks) < budget:
+        neg_v, pos = heapq.heappop(heap)
+        v = -neg_v
+        if v > cand[pos]:
+            continue  # stale duplicate; a fresher entry is in the heap
+        n_picks = len(picks)
+        if synced[pos] < n_picks:
+            fresh = min(float(cand[pos]), float(top_cross[picks[synced[pos]:], pos].min()))
+            synced[pos] = n_picks
+            if fresh < v:
+                cand[pos] = fresh
+                heapq.heappush(heap, (-fresh, pos))
+                continue
+        if v <= red_r or v < bound:
+            break
+        picks.append(pos)
+        synced[pos] = len(picks)
+    return picks
 
 
 def _expand_pairs(order, boundaries, ks, js):
@@ -421,18 +476,28 @@ def radius_guided_gonzalez(
             if prefix < 16:
                 break
 
-        while True:
-            if (
-                max_centers is not None
-                and len(centers) + len(round_centers) >= max_centers
-            ):
-                break
-            best = int(np.argmax(cand))
-            best_val = float(cand[best])
-            if best_val <= red_r or best_val < bound:
-                break
-            round_centers.append(int(top_idx[best]))
-            np.minimum(cand, top_cross[best], out=cand)
+        budget = (
+            np.inf
+            if max_centers is None
+            else max_centers - len(centers) - len(round_centers)
+        )
+        if cand.size >= LAZY_PICK_MIN:
+            # Interacting tail of the round: lazy-priority-queue picks
+            # (see _lazy_sequential_picks) instead of one O(k) argmax +
+            # full distance update per pick.
+            round_centers.extend(
+                int(top_idx[p])
+                for p in _lazy_sequential_picks(cand, top_cross, red_r, bound, budget)
+            )
+        else:
+            while budget > 0:
+                best = int(np.argmax(cand))
+                best_val = float(cand[best])
+                if best_val <= red_r or best_val < bound:
+                    break
+                round_centers.append(int(top_idx[best]))
+                budget -= 1
+                np.minimum(cand, top_cross[best], out=cand)
         round_cap = int(
             np.clip(4 * len(round_centers), min(8, round_size), round_size)
         )

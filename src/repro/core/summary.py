@@ -77,7 +77,12 @@ def build_summary(
         The DBSCAN parameters.
     neighbors:
         Neighbor ball-center sets ``A_e`` computed at a threshold of at
-        least ``2 r̄ + ε`` so the Lemma-2 candidate bound applies.
+        least ``2 r̄ + ε`` so the Lemma-2 candidate bound applies —
+        produced either by thresholding the dense center-distance
+        matrix or by sparse range queries through a
+        :mod:`repro.index` backend
+        (:func:`repro.index.netgraph.net_neighbor_sets`); both yield
+        the same sorted position lists.
 
     Notes
     -----

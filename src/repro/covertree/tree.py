@@ -66,6 +66,10 @@ class CoverTree:
         self.dataset = dataset
         self._root: Optional[_Node] = None
         self._size = 0
+        #: Distance evaluations spent building and querying this tree —
+        #: the ``t_dis`` instrumentation the index layer surfaces as
+        #: ``n_candidates``.
+        self.n_distance_evals = 0
         if indices is None:
             indices = range(dataset.n)
         for idx in indices:
@@ -123,9 +127,7 @@ class CoverTree:
             return
         payload = self.dataset.point(idx)
         root = self._root
-        d_root = float(
-            self.dataset.metric.distance(payload, self.dataset.point(root.index))
-        )
+        d_root = self._root_distance(payload)
         if d_root == 0.0:
             root.duplicates.append(idx)
             self._size += 1
@@ -197,9 +199,7 @@ class CoverTree:
         if self._root is None:
             raise ValueError("nearest() on an empty cover tree")
         root = self._root
-        best_d = float(
-            self.dataset.metric.distance(payload, self.dataset.point(root.index))
-        )
+        best_d = self._root_distance(payload)
         best_idx = root.index
         if early_stop is not None and best_d <= early_stop:
             return best_idx, best_d
@@ -259,9 +259,7 @@ class CoverTree:
             return best[k - 1][0] if len(best) >= k else float("inf")
 
         root = self._root
-        d_root = float(
-            self.dataset.metric.distance(payload, self.dataset.point(root.index))
-        )
+        d_root = self._root_distance(payload)
         offer(root.index, d_root, root.duplicates)
         candidates: List[Tuple[_Node, float]] = [(root, d_root)]
         bound: Optional[int] = None
@@ -298,9 +296,7 @@ class CoverTree:
             return []
         results: List[Tuple[int, float]] = []
         root = self._root
-        d_root = float(
-            self.dataset.metric.distance(payload, self.dataset.point(root.index))
-        )
+        d_root = self._root_distance(payload)
         if d_root <= radius:
             results.append((root.index, d_root))
             results.extend((dup, d_root) for dup in root.duplicates)
@@ -358,7 +354,19 @@ class CoverTree:
     def _batch(self, payload: object, indices: List[int]) -> np.ndarray:
         if not indices:
             return np.empty(0, dtype=np.float64)
+        self.n_distance_evals += len(indices)
+        # Tree probes count as engine work: keep the dataset-level
+        # distance_evals attribution comparable across backends.
+        self.dataset.n_cross_blocks += 1
+        self.dataset.n_cross_evals += len(indices)
         return self.dataset.distances_point(payload, indices)
+
+    def _root_distance(self, payload: object) -> float:
+        self.n_distance_evals += 1
+        self.dataset.n_cross_evals += 1
+        return float(
+            self.dataset.metric.distance(payload, self.dataset.point(self._root.index))
+        )
 
     @staticmethod
     def _max_child_level(

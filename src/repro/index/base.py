@@ -1,0 +1,234 @@
+"""The :class:`NeighborIndex` interface: pluggable neighbor search.
+
+Every solver in this package ultimately asks the same two questions of
+the data: *which points lie within radius ``r`` of a query* (range
+queries — the ε-neighborhoods of DBSCAN, the merge graphs over Gonzalez
+centers) and *which ``k`` points are nearest* (BCP-style probes).  The
+PR-1 batched distance engine answers them with dense blocked cross
+products, which is optimal for small sets but turns quadratic once the
+net size ``(Δ/r̄)^D`` explodes in high dimensions.
+
+This subpackage factors the question out behind an index interface, the
+same move scikit-learn makes with its ``neighbors`` backends: callers
+build a :class:`NeighborIndex` over a (subset of a) dataset and issue
+queries; the backend decides how to prune.  Three backends ship:
+
+- :class:`~repro.index.brute.BruteForceIndex` — the PR-1 engine behind
+  the interface; works for any metric, optimal for small sets;
+- :class:`~repro.index.grid.GridIndex` — uniform-cell hashing over
+  vector metrics, cell width tied to the expected query radius so
+  candidates come from adjacent cells only;
+- :class:`~repro.index.covertree.CoverTreeIndex` — adapter over
+  :class:`repro.covertree.tree.CoverTree` for general metric spaces.
+
+Backends are selected by name through :mod:`repro.index.registry`
+(``auto`` picks by metric type / size) or forced globally with the
+``REPRO_DEFAULT_INDEX`` environment variable.
+
+Contract
+--------
+- Queries are **global dataset indices** (the batch entry points), so
+  backends can route exact-filter evaluations through the instrumented
+  :class:`~repro.metricspace.dataset.MetricDataset` kernels and the
+  ``n_cross_evals`` attribution of PR 1 stays meaningful.
+- Results are **global point indices sorted ascending**, paired with
+  true (non-reduced) distances aligned to them.  Sorted order makes
+  every backend bit-compatible with the dense ``np.nonzero`` scans it
+  replaces, so downstream tie-breaking (argmin on candidate lists,
+  BFS expansion order) is identical across backends.
+- A stored query point always reports itself (distance 0).
+- Instrumentation: ``n_range_queries`` counts queries answered and
+  ``n_candidates`` counts the exact-filter distance evaluations spent
+  answering them.  Solvers surface both via
+  ``TimingBreakdown.counters`` next to ``n_cross_evals`` so speedups
+  stay attributable.
+"""
+
+from __future__ import annotations
+
+import copy
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.metricspace.dataset import IndexArray, MetricDataset
+
+#: A query answer: (global point indices sorted ascending, aligned true
+#: distances).
+QueryResult = Tuple[np.ndarray, np.ndarray]
+
+
+class NeighborIndex(ABC):
+    """Abstract neighbor-search structure over (a subset of) a dataset.
+
+    Lifecycle: construct with backend-specific knobs, then
+    :meth:`build` once against a dataset, then query.  Counters
+    accumulate across queries; :meth:`reset_counters` zeroes them.
+    """
+
+    #: Registry name of the backend (set by subclasses).
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.dataset: Optional[MetricDataset] = None
+        #: Global indices of the stored points, sorted ascending.
+        self.stored: Optional[np.ndarray] = None
+        self.radius_hint: Optional[float] = None
+        self.n_range_queries = 0
+        self.n_candidates = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def build(
+        self,
+        dataset: MetricDataset,
+        indices: Optional[IndexArray] = None,
+        radius_hint: Optional[float] = None,
+    ) -> "NeighborIndex":
+        """Index the points of ``dataset`` selected by ``indices``.
+
+        Parameters
+        ----------
+        dataset:
+            The metric space to index.
+        indices:
+            Global indices of the points to store (default: all).
+            Duplicates are rejected; order does not matter.
+        radius_hint:
+            The radius the caller expects to query at.  Backends may
+            use it to tune their structure (the grid ties its cell
+            width to it); queries at other radii remain correct.
+
+        Returns ``self`` so builds chain into expressions.
+        """
+        if indices is None:
+            stored = np.arange(dataset.n, dtype=np.intp)
+        else:
+            stored = np.unique(np.asarray(indices, dtype=np.intp))
+            if len(stored) != len(np.asarray(indices)):
+                raise ValueError("index build received duplicate point indices")
+            if len(stored) and (stored[0] < 0 or stored[-1] >= dataset.n):
+                raise ValueError("index build received out-of-range point indices")
+        if len(stored) == 0:
+            raise ValueError("cannot build an index over zero points")
+        if radius_hint is not None and radius_hint < 0:
+            raise ValueError(f"radius_hint must be non-negative, got {radius_hint}")
+        self.dataset = dataset
+        self.stored = stored
+        self.radius_hint = radius_hint
+        # A fresh build is a fresh instrumentation scope: rebuilding a
+        # pre-configured instance must not carry counters across fits.
+        self.reset_counters()
+        self._build()
+        return self
+
+    @abstractmethod
+    def _build(self) -> None:
+        """Backend hook: construct the search structure over
+        ``self.stored``."""
+
+    def spawn(self) -> "NeighborIndex":
+        """An unbuilt sibling carrying this backend's configuration.
+
+        Callers that need a *second* index of the same kind (e.g. the
+        DBSCAN++ core-point assignment) spawn it so the original's
+        built state survives and constructor knobs (grid cell width,
+        projection dims, ...) are preserved."""
+        clone = copy.copy(self)
+        clone.dataset = None
+        clone.stored = None
+        clone.radius_hint = None
+        clone.reset_counters()
+        return clone
+
+    def _require_built(self) -> MetricDataset:
+        if self.dataset is None or self.stored is None:
+            raise RuntimeError(
+                f"{type(self).__name__} queried before build() was called"
+            )
+        return self.dataset
+
+    @property
+    def n_stored(self) -> int:
+        """Number of stored points."""
+        return 0 if self.stored is None else int(len(self.stored))
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def range_query(
+        self, query: int, radius: float, with_distances: bool = True
+    ) -> QueryResult:
+        """Stored points within ``radius`` of dataset point ``query``.
+
+        Returns ``(indices, distances)`` with indices global and sorted
+        ascending.  The default delegates to :meth:`range_query_batch`.
+        """
+        return self.range_query_batch(
+            np.asarray([query], dtype=np.intp), radius,
+            with_distances=with_distances,
+        )[0]
+
+    @abstractmethod
+    def range_query_batch(
+        self, queries: IndexArray, radius: float, with_distances: bool = True
+    ) -> List[QueryResult]:
+        """One :meth:`range_query` answer per entry of ``queries``.
+
+        This is the hot entry point: backends batch the exact-filter
+        distance evaluations over many queries at once.
+
+        ``with_distances=False`` lets consumers that only need the
+        neighbor *sets* (adjacency precompute, core counting) skip the
+        reduced→true expansion — a ``sqrt``/``arccos`` per hit that
+        the dense reduced-threshold paths never paid; the second tuple
+        element is then ``None``.
+        """
+
+    @abstractmethod
+    def knn(self, query: int, k: int) -> QueryResult:
+        """The ``k`` stored points nearest to dataset point ``query``.
+
+        Returns ``(indices, distances)`` sorted by ``(distance, index)``
+        (fewer than ``k`` when the index stores fewer points).
+        """
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of the instrumentation counters, keyed exactly as
+        solvers surface them in ``TimingBreakdown.counters``."""
+        return {
+            "n_range_queries": int(self.n_range_queries),
+            "n_candidates": int(self.n_candidates),
+        }
+
+    def reset_counters(self) -> None:
+        """Zero the query/candidate counters."""
+        self.n_range_queries = 0
+        self.n_candidates = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n_stored={self.n_stored}, "
+            f"radius_hint={self.radius_hint})"
+        )
+
+
+def check_radius(radius: float) -> float:
+    """Validate a query radius (non-negative and finite)."""
+    radius = float(radius)
+    if radius < 0 or not np.isfinite(radius):
+        raise ValueError(f"query radius must be non-negative and finite, got {radius}")
+    return radius
+
+
+def check_k(k: int) -> int:
+    """Validate a kNN ``k`` (positive integer)."""
+    k = int(k)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return k

@@ -1,0 +1,78 @@
+"""Brute-force backend: the PR-1 batched engine behind the index API.
+
+Every query scans all stored points with the blocked, reduced-space
+cross kernels of :class:`~repro.metricspace.dataset.MetricDataset` —
+``O(n_stored)`` candidates per query, no pruning, any metric.  This is
+the correctness reference the other backends are tested against, and
+the fastest choice for small stored sets where numpy throughput beats
+any per-query pruning overhead.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.index.base import NeighborIndex, QueryResult, check_k, check_radius
+from repro.metricspace.dataset import IndexArray
+
+
+class BruteForceIndex(NeighborIndex):
+    """Linear-scan neighbor index over the batched distance engine."""
+
+    name = "brute"
+
+    def _build(self) -> None:
+        # Nothing to precompute: the stored index array *is* the
+        # structure.  When it covers the whole dataset, targets=None
+        # lets the kernels skip the gather entirely.
+        self._all = self.n_stored == self.dataset.n
+
+    def range_query_batch(
+        self, queries: IndexArray, radius: float, with_distances: bool = True
+    ) -> List[QueryResult]:
+        dataset = self._require_built()
+        radius = check_radius(radius)
+        metric = dataset.metric
+        red_radius = metric.reduce_threshold(radius)
+        targets = None if self._all else self.stored
+        out: List[QueryResult] = []
+        for _, block in dataset.cross_blocks(
+            queries=queries, targets=targets, reduced=True
+        ):
+            hits = block <= red_radius
+            for row in range(block.shape[0]):
+                cols = np.flatnonzero(hits[row])
+                dists = (
+                    np.asarray(
+                        metric.expand_reduced(block[row, cols]), dtype=np.float64
+                    )
+                    if with_distances
+                    else None
+                )
+                out.append((self.stored[cols], dists))
+        self.n_range_queries += len(out)
+        self.n_candidates += len(out) * self.n_stored
+        return out
+
+    def knn(self, query: int, k: int) -> QueryResult:
+        dataset = self._require_built()
+        k = check_k(k)
+        metric = dataset.metric
+        targets = None if self._all else self.stored
+        row = np.asarray(
+            dataset.cross([int(query)], targets, reduced=True)[0], dtype=np.float64
+        )
+        self.n_range_queries += 1
+        self.n_candidates += self.n_stored
+        k = min(k, self.n_stored)
+        if k < self.n_stored:
+            part = np.argpartition(row, k - 1)[:k]
+        else:
+            part = np.arange(self.n_stored)
+        # Sort the k survivors by (distance, global index).
+        order = np.lexsort((self.stored[part], row[part]))
+        cols = part[order]
+        dists = np.asarray(metric.expand_reduced(row[cols]), dtype=np.float64)
+        return self.stored[cols], dists

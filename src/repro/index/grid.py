@@ -1,0 +1,351 @@
+"""Uniform-cell grid backend for vector metrics.
+
+The grid hashes every stored point into an integer cell of a uniform
+lattice over a *projection* onto the few highest-variance coordinates
+(``max_grid_dims``, default 3).  A range query at radius ``r`` gathers
+candidates only from the cells whose box lower bound can reach the
+query cell — with the cell width tied to the expected query radius
+(``radius_hint``, e.g. the solver's ε or the ``2r̄ + ε`` merge-graph
+threshold), that is the ``O(3^g)`` adjacent cells — and then filters
+them exactly through the instrumented ``MetricDataset`` kernels.
+
+Correctness rests on one fact: the *view distance* computed from the
+grid coordinates lower-bounds the true metric distance, so cell pruning
+can only discard points that are provably out of range:
+
+- **Euclidean / Minkowski family** — coordinates are the raw payloads;
+  any coordinate-subset distance lower-bounds the full-space distance.
+- **Angular (cosine)** — coordinates are the unit-normalized rows and
+  query radii are mapped to *chord* lengths (``2 sin(θ/2)``, strictly
+  increasing on ``[0, π]``), reducing the spherical problem to a
+  Euclidean one.
+
+Projecting keeps the neighbor-cell enumeration bounded (``3^g`` instead
+of ``3^d``) at the price of looser candidate sets in high ambient
+dimension — the exact filter restores correctness, and the benchmark
+``benchmarks/bench_index_backends.py`` measures the trade.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.index.base import NeighborIndex, QueryResult, check_k, check_radius
+from repro.metricspace.base import Metric
+from repro.metricspace.counting import CountingMetric
+from repro.metricspace.cosine import CosineMetric
+from repro.metricspace.dataset import IndexArray, rows_per_block
+from repro.metricspace.euclidean import EuclideanMetric
+from repro.metricspace.minkowski import (
+    ChebyshevMetric,
+    ManhattanMetric,
+    MinkowskiMetric,
+)
+
+#: Relative slack on cell-pruning comparisons so float rounding can only
+#: *add* candidate cells, never drop one.
+_SLACK = 1.0 + 1e-9
+
+
+def _unwrap(metric: Metric) -> Metric:
+    """See through the CountingMetric instrumentation wrapper."""
+    while isinstance(metric, CountingMetric):
+        metric = metric.inner
+    return metric
+
+
+def _group_rows(cells: np.ndarray):
+    """Group equal integer rows: returns ``(unique_rows, groups)`` with
+    ``groups[u]`` the (ascending) positions whose row is
+    ``unique_rows[u]``."""
+    uniq, inverse = np.unique(cells, axis=0, return_inverse=True)
+    inverse = inverse.reshape(-1)  # numpy 2.x may return (n, 1)
+    order = np.argsort(inverse, kind="stable")
+    boundaries = np.searchsorted(inverse[order], np.arange(len(uniq) + 1))
+    groups = [order[boundaries[u] : boundaries[u + 1]] for u in range(len(uniq))]
+    return uniq, groups
+
+
+class _GridView:
+    """Euclidean-compatible coordinate view of a vector metric.
+
+    ``coords`` maps payload rows to grid coordinates, ``view_radius``
+    maps a true-metric radius to the view geometry, ``expand_view``
+    maps a view-space lower bound back to a true-metric lower bound
+    (used by the kNN certification), and ``combine`` aggregates per-dim
+    cell gaps into a view-space lower bound.
+    """
+
+    def __init__(self, metric: Metric) -> None:
+        metric = _unwrap(metric)
+        self._chord = isinstance(metric, CosineMetric)
+        if isinstance(metric, ChebyshevMetric):
+            self._p: Optional[float] = math.inf
+        elif isinstance(metric, ManhattanMetric):
+            self._p = 1.0
+        elif isinstance(metric, MinkowskiMetric):
+            self._p = metric.p
+        elif isinstance(metric, (EuclideanMetric, CosineMetric)):
+            self._p = 2.0
+        else:
+            raise TypeError(
+                f"GridIndex does not support {type(metric).__name__}; "
+                "use the covertree or brute backend for general metrics"
+            )
+
+    @staticmethod
+    def supports(metric: Metric) -> bool:
+        """Whether :class:`GridIndex` can serve this metric."""
+        return isinstance(
+            _unwrap(metric),
+            (EuclideanMetric, MinkowskiMetric, ManhattanMetric,
+             ChebyshevMetric, CosineMetric),
+        )
+
+    def coords(self, payloads: np.ndarray) -> np.ndarray:
+        arr = np.asarray(payloads, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr.reshape(1, -1)
+        if self._chord:
+            norms = np.linalg.norm(arr, axis=1)
+            if np.any(norms == 0.0):
+                raise ValueError("angular grid view undefined for the zero vector")
+            arr = arr / norms[:, None]
+        return arr
+
+    def view_radius(self, radius: float) -> float:
+        if self._chord:
+            return 2.0 * math.sin(min(max(radius, 0.0), math.pi) / 2.0)
+        return radius
+
+    def expand_view(self, view_bound: float) -> float:
+        if self._chord:
+            return 2.0 * math.asin(min(max(view_bound, 0.0), 2.0) / 2.0)
+        return view_bound
+
+    def combine(self, per_dim: np.ndarray) -> np.ndarray:
+        """Aggregate per-dimension coordinate gaps (last axis) into a
+        view-space lower bound."""
+        if self._p == math.inf:
+            return per_dim.max(axis=-1)
+        return np.sum(per_dim**self._p, axis=-1) ** (1.0 / self._p)
+
+
+class GridIndex(NeighborIndex):
+    """Uniform-cell hashing index for vector metrics.
+
+    Parameters
+    ----------
+    cell_width:
+        Lattice pitch in view space.  Default: the build-time
+        ``radius_hint`` (so range queries at the hinted radius touch
+        only adjacent cells), falling back to a data-spread heuristic
+        aiming at ``O(1)`` points per cell.
+    max_grid_dims:
+        Cap on the number of projected dimensions ``g`` (neighbor-cell
+        enumeration is ``O((2·reach+1)^g)``).
+    """
+
+    name = "grid"
+
+    def __init__(
+        self, cell_width: Optional[float] = None, max_grid_dims: int = 3
+    ) -> None:
+        super().__init__()
+        if cell_width is not None and cell_width <= 0:
+            raise ValueError(f"cell_width must be positive, got {cell_width}")
+        if max_grid_dims < 1:
+            raise ValueError(f"max_grid_dims must be >= 1, got {max_grid_dims}")
+        self.cell_width = cell_width
+        self.max_grid_dims = int(max_grid_dims)
+
+    @staticmethod
+    def supports(metric: Metric) -> bool:
+        """Whether this backend can index datasets under ``metric``."""
+        return _GridView.supports(metric)
+
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        dataset = self.dataset
+        if not dataset.metric.is_vector_metric:
+            raise TypeError("GridIndex requires a vector metric")
+        self._view = _GridView(dataset.metric)
+        coords = self._view.coords(dataset.gather(self.stored))
+        # Project onto the highest-variance dimensions: the most
+        # discriminative cheap sketch of the data.
+        variances = coords.var(axis=0)
+        g = min(coords.shape[1], self.max_grid_dims)
+        self._dims = np.sort(np.argsort(variances)[::-1][:g])
+        proj = coords[:, self._dims]
+        self._origin = proj.min(axis=0)
+        self._width = self._pick_width(proj)
+        cells = np.floor((proj - self._origin) / self._width).astype(np.int64)
+        # Group stored positions by cell, kept both as a dict (O(1)
+        # lookups for the adjacent-offset path) and an aligned key
+        # array + group list (vectorized occupied-cell scans when a
+        # query radius spans many cell widths).
+        self._cell_keys, self._cell_groups = _group_rows(cells)
+        self._cells: Dict[Tuple[int, ...], np.ndarray] = {
+            tuple(int(c) for c in key): group
+            for key, group in zip(self._cell_keys, self._cell_groups)
+        }
+
+    def _pick_width(self, proj: np.ndarray) -> float:
+        if self.cell_width is not None:
+            return float(self.cell_width)
+        if self.radius_hint is not None:
+            hinted = self._view.view_radius(self.radius_hint)
+            if hinted > 0:
+                return float(hinted)
+        # Heuristic: aim at ~one occupied cell per stored point along
+        # each projected axis, bounded away from degenerate spans.
+        spans = proj.max(axis=0) - self._origin
+        per_axis = max(1.0, float(len(proj)) ** (1.0 / proj.shape[1]))
+        width = float(spans.max()) / per_axis
+        return width if width > 0 else 1.0
+
+    # ------------------------------------------------------------------
+
+    def _cell_offsets(self, view_radius: float) -> Optional[np.ndarray]:
+        """Offset vectors of every cell whose box lower bound can reach
+        a query anywhere in its own cell.
+
+        Returns ``None`` when the offset lattice would be larger than
+        the set of *occupied* cells (query radius spanning many cell
+        widths): :meth:`_gather` then scans the occupied-cell table
+        directly, which bounds every query at ``O(#occupied cells)``
+        regardless of the radius/width ratio.
+        """
+        g = len(self._dims)
+        reach = int(math.floor(view_radius / self._width)) + 1
+        if (2 * reach + 1) ** g > max(64, len(self._cell_groups)):
+            return None
+        axes = np.arange(-reach, reach + 1, dtype=np.int64)
+        offs = np.stack(
+            np.meshgrid(*([axes] * g), indexing="ij"), axis=-1
+        ).reshape(-1, g)
+        # Any point of a cell at offset o is >= (|o|-1)*w away per dim.
+        per_dim = np.maximum(np.abs(offs) - 1, 0).astype(np.float64) * self._width
+        lb = self._view.combine(per_dim)
+        return offs[lb <= view_radius * _SLACK]
+
+    def _gather(
+        self,
+        cell: np.ndarray,
+        offsets: Optional[np.ndarray],
+        view_radius: float,
+    ) -> np.ndarray:
+        """Stored positions reachable from ``cell`` (sorted, so global
+        indices come out ascending)."""
+        if offsets is None:
+            # Occupied-cell scan: the same box lower bound, evaluated
+            # against every occupied cell key in one vectorized pass.
+            per_dim = (
+                np.maximum(np.abs(self._cell_keys - cell) - 1, 0).astype(np.float64)
+                * self._width
+            )
+            lb = self._view.combine(per_dim)
+            chunks = [
+                self._cell_groups[u]
+                for u in np.flatnonzero(lb <= view_radius * _SLACK)
+            ]
+        else:
+            chunks = []
+            for off in offsets:
+                hit = self._cells.get(tuple(int(c) for c in cell + off))
+                if hit is not None:
+                    chunks.append(hit)
+        if not chunks:
+            return np.empty(0, dtype=np.intp)
+        return np.sort(np.concatenate(chunks))
+
+    def range_query_batch(
+        self, queries: IndexArray, radius: float, with_distances: bool = True
+    ) -> List[QueryResult]:
+        dataset = self._require_built()
+        radius = check_radius(radius)
+        metric = dataset.metric
+        red_radius = metric.reduce_threshold(radius)
+        queries = np.asarray(queries, dtype=np.intp)
+        qproj = self._view.coords(dataset.gather(queries))[:, self._dims]
+        qcells = np.floor((qproj - self._origin) / self._width).astype(np.int64)
+        view_r = self._view.view_radius(radius)
+        offsets = self._cell_offsets(view_r)
+
+        out: List[Optional[QueryResult]] = [None] * len(queries)
+        empty = (np.empty(0, dtype=np.intp), np.empty(0, dtype=np.float64))
+        # Queries sharing a cell share the same candidate set: group
+        # them so the exact filter runs one block per occupied cell.
+        uniq, query_groups = _group_rows(qcells)
+        for u in range(len(uniq)):
+            group = query_groups[u]
+            cand_pos = self._gather(uniq[u], offsets, view_r)
+            if cand_pos.size == 0:
+                for q in group:
+                    out[q] = empty
+                continue
+            cand = self.stored[cand_pos]
+            # Chunked exact filter: a dense cell (everything hashing
+            # together under a generous radius) must not materialize
+            # one |group| x |cand| matrix — keep the byte-bounded
+            # block guarantee of the engine paths this replaces.
+            step = rows_per_block(len(cand))
+            for lo in range(0, len(group), step):
+                sub = group[lo : lo + step]
+                block = dataset.cross(queries[sub], cand, reduced=True)
+                self.n_candidates += block.size
+                hits = block <= red_radius
+                for row, q in enumerate(sub):
+                    cols = np.flatnonzero(hits[row])
+                    dists = (
+                        np.asarray(
+                            metric.expand_reduced(block[row, cols]),
+                            dtype=np.float64,
+                        )
+                        if with_distances
+                        else None
+                    )
+                    out[q] = (cand[cols], dists)
+        self.n_range_queries += len(queries)
+        return out
+
+    def knn(self, query: int, k: int) -> QueryResult:
+        dataset = self._require_built()
+        k = check_k(k)
+        metric = dataset.metric
+        qproj = self._view.coords(dataset.gather([int(query)]))[0, self._dims]
+        qcell = np.floor((qproj - self._origin) / self._width).astype(np.int64)
+        self.n_range_queries += 1
+        k = min(k, self.n_stored)
+        # Expanding-ring search: points outside box reach R are at view
+        # distance >= R*w, so once the kth candidate is closer than the
+        # true-metric expansion of that bound the answer is certified.
+        # The cell width is already a view-space quantity; only a
+        # caller-supplied hint needs mapping into view space.
+        reach_r = (
+            self._view.view_radius(self.radius_hint)
+            if self.radius_hint
+            else self._width
+        )
+        while True:
+            offsets = self._cell_offsets(reach_r)
+            cand_pos = self._gather(qcell, offsets, reach_r)
+            if cand_pos.size >= k:
+                cand = self.stored[cand_pos]
+                row = dataset.cross([int(query)], cand, reduced=True)[0]
+                self.n_candidates += len(cand)
+                dists = np.asarray(metric.expand_reduced(row), dtype=np.float64)
+                sel = np.lexsort((cand, dists))[:k]
+                # Every ungathered point (box-excluded or cell-pruned)
+                # sits at view distance strictly above reach_r.
+                certified = (
+                    cand_pos.size == self.n_stored
+                    or float(dists[sel[-1]]) <= self._view.expand_view(reach_r)
+                )
+                if certified:
+                    return cand[sel], dists[sel]
+            reach_r *= 2.0

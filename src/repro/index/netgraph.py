@@ -1,0 +1,81 @@
+"""Sparse center-center merge graphs over a Gonzalez net.
+
+The exact and approximate solvers both need, per center ``e_j``, the
+set of centers within a threshold (the paper's neighbor ball-center
+sets ``A_p`` of Eq. (1) / Eq. (13)).  PR 1 answered this by
+thresholding the dense ``(|E|, |E|)`` center-distance matrix harvested
+by Algorithm 1 — free in distance evaluations, but quadratic in
+``|E|``, which explodes as ``(Δ/r̄)^D`` in high dimensions.
+
+:func:`net_neighbor_sets` keeps the dense path for the brute backend
+(where it is exactly equivalent and strictly cheaper) and otherwise
+answers the merge graph with sparse range queries through a
+:class:`~repro.index.base.NeighborIndex` built over the centers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.index.base import NeighborIndex
+from repro.index.registry import IndexSpec, build_index, resolve_index_name
+from repro.utils.timer import TimingBreakdown
+
+
+def center_neighbor_sets(
+    net, threshold: float, index: NeighborIndex
+) -> List[np.ndarray]:
+    """Neighbor ball-center sets via sparse range queries.
+
+    ``index`` must be built over exactly ``net.centers``.  Returns, for
+    each center position ``j``, the sorted positions of centers within
+    ``threshold`` of ``e_j`` (including ``j``) — the same structure as
+    ``GonzalezNet.neighbor_centers``.
+    """
+    centers = np.asarray(net.centers, dtype=np.intp)
+    position_of = np.full(net.dataset.n, -1, dtype=np.int64)
+    position_of[centers] = np.arange(len(centers))
+    results = index.range_query_batch(centers, threshold, with_distances=False)
+    # Global ids map to center positions in insertion (not id) order,
+    # so re-sort per row to match the dense np.nonzero scan order.
+    return [np.sort(position_of[ids]) for ids, _ in results]
+
+
+def net_neighbor_sets(
+    net,
+    threshold: float,
+    spec: IndexSpec,
+    timings: Optional[TimingBreakdown] = None,
+) -> List[np.ndarray]:
+    """Merge-graph neighbor sets through the configured index backend.
+
+    When ``spec`` resolves to ``brute`` the harvested dense
+    center-distance matrix answers the query with zero extra distance
+    evaluations (this *is* the brute-force answer, already paid for);
+    any other backend is built over the centers with the threshold as
+    its radius hint and queried sparsely.  Index counters flow into
+    ``timings`` either way so ``TimingBreakdown.counters`` stays
+    comparable across backends.
+    """
+    dataset = net.dataset
+    m = net.n_centers
+    name = resolve_index_name(spec, dataset, m)
+    if name == "brute":
+        neighbors = net.neighbor_centers(threshold)
+        if timings is not None:
+            timings.count("n_range_queries", m)
+            timings.count("n_candidates", m * m)
+        return neighbors
+    index = build_index(
+        spec if not (spec is None or isinstance(spec, str)) else name,
+        dataset,
+        indices=net.centers,
+        radius_hint=threshold,
+    )
+    neighbors = center_neighbor_sets(net, threshold, index)
+    if timings is not None:
+        for counter, value in index.counters().items():
+            timings.count(counter, value)
+    return neighbors

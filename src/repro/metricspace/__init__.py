@@ -25,7 +25,11 @@ from repro.metricspace.dataset import (
     MetricDataset,
     rows_per_block,
 )
-from repro.metricspace.editdistance import EditDistanceMetric, levenshtein
+from repro.metricspace.editdistance import (
+    EditDistanceMetric,
+    levenshtein,
+    levenshtein_myers,
+)
 from repro.metricspace.euclidean import EuclideanMetric
 from repro.metricspace.hamming import HammingMetric
 from repro.metricspace.jaccard import JaccardMetric
@@ -43,6 +47,7 @@ __all__ = [
     "CosineMetric",
     "EditDistanceMetric",
     "levenshtein",
+    "levenshtein_myers",
     "HammingMetric",
     "JaccardMetric",
     "CountingMetric",

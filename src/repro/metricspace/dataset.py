@@ -8,6 +8,7 @@ sees every evaluation.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -22,6 +23,22 @@ IndexArray = Union[Sequence[int], np.ndarray]
 #: 8 MiB of float64 keeps a block well inside L3 on common hardware
 #: while amortizing the per-call numpy overhead over ~1M entries.
 DEFAULT_BLOCK_BYTES = 8 << 20
+
+#: Adaptive block sizing (``cross_blocks(block_bytes=None)``) steers
+#: each block's measured kernel time into this window: faster blocks
+#: double the byte budget (amortize per-call overhead — matters for
+#: tiny ``d`` where a fixed byte budget yields huge cheap blocks'
+#: opposite, many small expensive calls), slower blocks halve it
+#: (bound latency and the working set — matters for large ``d`` or
+#: expensive scalar metrics).  The learned budget persists on the
+#: dataset, so later iterations start warm.
+ADAPT_LOW_SECONDS = 0.004
+ADAPT_HIGH_SECONDS = 0.040
+ADAPT_MIN_BYTES = 256 << 10
+#: Growth cap: 8x the static default.  Consumers often hold a
+#: same-sized boolean mask next to the block, so the transient
+#: footprint is a small multiple of this.
+ADAPT_MAX_BYTES = 64 << 20
 
 
 def rows_per_block(n_targets: int, block_bytes: int = DEFAULT_BLOCK_BYTES) -> int:
@@ -93,6 +110,8 @@ class MetricDataset:
         # number of distance entries they produced (see cross/cross_blocks).
         self.n_cross_blocks = 0
         self.n_cross_evals = 0
+        # Learned byte budget for adaptive cross_blocks sizing.
+        self._adaptive_block_bytes = DEFAULT_BLOCK_BYTES
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -208,16 +227,25 @@ class MetricDataset:
         self,
         queries: Optional[IndexArray] = None,
         targets: Optional[IndexArray] = None,
-        block_bytes: int = DEFAULT_BLOCK_BYTES,
+        block_bytes: Optional[int] = None,
         reduced: bool = False,
     ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
         """Chunked iterator over the ``(queries, targets)`` distance matrix.
 
         Yields ``(query_indices_chunk, block)`` pairs where ``block`` has
         shape ``(len(chunk), len(targets))``; the query side is sliced so
-        each float64 block stays within ``block_bytes``.  Peak memory is
+        each float64 block stays within the byte budget.  Peak memory is
         therefore bounded regardless of ``len(queries) * len(targets)``.
+
+        ``block_bytes=None`` (default) sizes blocks *adaptively*: the
+        budget starts at the dataset's learned value (initially
+        ``DEFAULT_BLOCK_BYTES``) and each block's measured kernel time
+        steers it into the ``[ADAPT_LOW_SECONDS, ADAPT_HIGH_SECONDS]``
+        window.  Pass an explicit byte count for fully deterministic
+        chunking (tests, memory-capped environments).  Chunking never
+        affects the values produced, only their grouping.
         """
+        adaptive = block_bytes is None
         q = np.arange(self._n, dtype=np.intp) if queries is None else np.asarray(
             queries, dtype=np.intp
         )
@@ -225,13 +253,36 @@ class MetricDataset:
         t = self._points if t_idx is None else self.gather(t_idx)
         n_targets = self._n if t_idx is None else len(t_idx)
         kernel = self.metric.reduced_cross if reduced else self.metric.cross
-        step = rows_per_block(n_targets, block_bytes)
-        for start in range(0, len(q), step):
+        if not adaptive:
+            step = rows_per_block(n_targets, block_bytes)
+        start = 0
+        while start < len(q):
+            if adaptive:
+                budget = self._adaptive_block_bytes
+                step = rows_per_block(n_targets, budget)
             chunk = q[start : start + step]
+            began = time.perf_counter()
             block = kernel(self.gather(chunk), t)
+            if adaptive:
+                elapsed = time.perf_counter() - began
+                if (
+                    elapsed > ADAPT_HIGH_SECONDS
+                    and budget > ADAPT_MIN_BYTES
+                ):
+                    self._adaptive_block_bytes = max(budget // 2, ADAPT_MIN_BYTES)
+                elif (
+                    elapsed < ADAPT_LOW_SECONDS
+                    and budget < ADAPT_MAX_BYTES
+                    # Only a block that actually consumed its budget is
+                    # evidence the budget is too small (tail chunks and
+                    # tiny query sets finish fast regardless).
+                    and block.size * 8 >= budget // 2
+                ):
+                    self._adaptive_block_bytes = min(budget * 2, ADAPT_MAX_BYTES)
             self.n_cross_blocks += 1
             self.n_cross_evals += block.size
             yield chunk, block
+            start += len(chunk)
 
     def pairwise(self, indices: Optional[IndexArray] = None) -> np.ndarray:
         """Pairwise distance matrix over ``indices`` (all points if None).
@@ -259,6 +310,7 @@ class MetricDataset:
         counted._n = self._n
         counted.n_cross_blocks = 0
         counted.n_cross_evals = 0
+        counted._adaptive_block_bytes = self._adaptive_block_bytes
         return counted
 
     def __repr__(self) -> str:

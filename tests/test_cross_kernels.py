@@ -144,6 +144,33 @@ def test_dataset_cross_blocks_reassemble(block_bytes):
     np.testing.assert_allclose(np.vstack(tiles), full, atol=1e-12)
 
 
+def test_dataset_cross_blocks_adaptive_reassembles():
+    """block_bytes=None (adaptive sizing) must tile the same matrix;
+    the learned budget stays within its clamp bounds and persists on
+    the dataset."""
+    from repro.metricspace.dataset import ADAPT_MAX_BYTES, ADAPT_MIN_BYTES
+
+    pts = _vector_payloads(200)
+    ds = MetricDataset(pts)
+    full = ds.cross()
+    seen_rows = []
+    tiles = []
+    for chunk, block in ds.cross_blocks():
+        seen_rows.extend(chunk.tolist())
+        tiles.append(block)
+    assert seen_rows == list(range(ds.n))
+    np.testing.assert_allclose(np.vstack(tiles), full, atol=1e-12)
+    assert ADAPT_MIN_BYTES <= ds._adaptive_block_bytes <= ADAPT_MAX_BYTES
+
+
+def test_dataset_cross_blocks_explicit_budget_is_static():
+    """An explicit byte budget must keep the deterministic chunking."""
+    pts = _vector_payloads(50)
+    ds = MetricDataset(pts)
+    sizes = [len(chunk) for chunk, _ in ds.cross_blocks(block_bytes=8 * 100)]
+    assert sizes == [2] * 25  # 100 target entries / 50 targets = 2 rows
+
+
 def test_dataset_cross_blocks_subsets_and_counters():
     pts = _vector_payloads(20)
     ds = MetricDataset(pts)

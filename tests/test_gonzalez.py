@@ -17,6 +17,32 @@ def make_ds(seed=0, n=150):
     return MetricDataset(pts)
 
 
+class TestLazyPick:
+    """The lazy-priority-queue in-round pick must reproduce the eager
+    argmax loop's center sequence exactly (including tie-breaking)."""
+
+    @pytest.mark.parametrize("r_bar", [0.05, 0.3, 1.5])
+    def test_lazy_matches_eager(self, monkeypatch, r_bar):
+        import repro.core.gonzalez as gz
+
+        ds = make_ds(seed=5, n=400)
+        monkeypatch.setattr(gz, "LAZY_PICK_MIN", 10**9)
+        eager = gz.radius_guided_gonzalez(ds, r_bar, eps_for_counts=0.4)
+        monkeypatch.setattr(gz, "LAZY_PICK_MIN", 1)
+        lazy = gz.radius_guided_gonzalez(ds, r_bar, eps_for_counts=0.4)
+        assert eager.centers == lazy.centers
+        np.testing.assert_array_equal(eager.center_of, lazy.center_of)
+        np.testing.assert_array_equal(eager.ball_counts, lazy.ball_counts)
+
+    def test_lazy_respects_max_centers(self, monkeypatch):
+        import repro.core.gonzalez as gz
+
+        ds = make_ds(seed=6, n=300)
+        monkeypatch.setattr(gz, "LAZY_PICK_MIN", 1)
+        net = gz.radius_guided_gonzalez(ds, 0.01, max_centers=17)
+        assert net.n_centers == 17
+
+
 class TestNetProperties:
     def test_covering(self):
         ds = make_ds()

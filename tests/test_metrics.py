@@ -18,6 +18,7 @@ from repro.metricspace import (
     MinkowskiMetric,
     levenshtein,
 )
+from repro.metricspace.editdistance import _myers_batch, levenshtein_myers
 
 VECTOR_METRICS = [
     EuclideanMetric(),
@@ -177,6 +178,86 @@ class TestLevenshtein:
     def test_negative_cutoff_rejected(self):
         with pytest.raises(ValueError):
             EditDistanceMetric(cutoff=-1)
+
+
+class TestMyersKernels:
+    """The bit-parallel kernels must agree exactly with the scalar DP —
+    on small alphabets, alphabets beyond 64 symbols, and patterns past
+    the 64-character word width."""
+
+    @given(st.text(alphabet="ab", max_size=20), st.text(alphabet="ab", max_size=20))
+    @settings(max_examples=80, deadline=None)
+    def test_python_int_matches_scalar(self, a, b):
+        assert levenshtein_myers(a, b) == levenshtein(a, b)
+
+    def test_large_alphabet(self):
+        # > 64 distinct symbols, including non-BMP characters.
+        rng = np.random.default_rng(0)
+        alphabet = [chr(c) for c in range(0x4E00, 0x4E00 + 200)] + ["𝄞", "🙂"]
+        for _ in range(40):
+            a = "".join(rng.choice(alphabet, size=rng.integers(0, 30)))
+            b = "".join(rng.choice(alphabet, size=rng.integers(0, 30)))
+            assert levenshtein_myers(a, b) == levenshtein(a, b)
+            if 0 < len(a) <= 64:
+                assert _myers_batch(a, [b])[0] == levenshtein(a, b)
+
+    def test_long_patterns_past_word_width(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            a = "".join(rng.choice(list("abcde"), size=rng.integers(65, 200)))
+            b = "".join(rng.choice(list("abcde"), size=rng.integers(0, 200)))
+            assert levenshtein_myers(a, b) == levenshtein(a, b)
+
+    def test_batch_matches_scalar_loop(self):
+        rng = np.random.default_rng(2)
+        batch = [
+            "".join(rng.choice(list("abcdefgh"), size=rng.integers(0, 40)))
+            for _ in range(60)
+        ]
+        for qlen in (1, 7, 63, 64):
+            a = "".join(rng.choice(list("abcdefgh"), size=qlen))
+            want = np.array([levenshtein(a, b) for b in batch])
+            np.testing.assert_array_equal(_myers_batch(a, batch), want)
+
+    def test_metric_kernel_dispatch_consistent(self):
+        rng = np.random.default_rng(3)
+        batch = [
+            "".join(rng.choice(list("abcd"), size=rng.integers(0, 30)))
+            for _ in range(50)
+        ]
+        q = batch[0]
+        auto = EditDistanceMetric()
+        banded = EditDistanceMetric(kernel="banded")
+        np.testing.assert_array_equal(
+            auto.distance_many(q, batch), banded.distance_many(q, batch)
+        )
+        np.testing.assert_array_equal(
+            auto.pair_distances(batch[:25], batch[25:]),
+            banded.pair_distances(batch[:25], batch[25:]),
+        )
+
+    def test_cutoff_threshold_semantics_preserved(self):
+        rng = np.random.default_rng(4)
+        batch = [
+            "".join(rng.choice(list("abcdef"), size=rng.integers(0, 40)))
+            for _ in range(60)
+        ]
+        q = batch[1]
+        cutoff = 4
+        auto = EditDistanceMetric(cutoff=cutoff)
+        banded = EditDistanceMetric(cutoff=cutoff, kernel="banded")
+        got = auto.distance_many(q, batch) <= cutoff
+        want = banded.distance_many(q, batch) <= cutoff
+        np.testing.assert_array_equal(got, want)
+        # In-threshold distances are exact either way.
+        exact = EditDistanceMetric()
+        for b, inside in zip(batch, want):
+            if inside:
+                assert auto.distance(q, b) == exact.distance(q, b)
+
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(ValueError, match="kernel"):
+            EditDistanceMetric(kernel="simd")
 
 
 class TestHamming:

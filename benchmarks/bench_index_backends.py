@@ -9,7 +9,11 @@ Two workloads, each run per backend with identical inputs:
   ``d >= 16``, ``n >= 20k`` workload (the regime where the dense
   ``Θ(n²)`` scan stops being viable), asserting *label-identical*
   output across backends and a wall-clock win for a sparse backend
-  over brute force.
+  over brute force;
+- **streaming** — ``StreamingApproxDBSCAN`` dense-scan vs ``index=``
+  per backend: labels must be bit-identical, and the report shows the
+  candidate counts plus the ``peak_center_matrix_bytes`` center-
+  structure footprint next to the dense path's.
 
 Run directly::
 
@@ -35,6 +39,7 @@ import numpy as np
 import pytest
 
 from repro.baselines import OriginalDBSCAN
+from repro.core import StreamingApproxDBSCAN
 from repro.datasets import make_blobs
 from repro.index import build_index
 from repro.metricspace import MetricDataset
@@ -106,7 +111,31 @@ def run_clustering_comparison(n=20000, dim=16, backends=("brute", "grid")):
     return rows, labels, seconds
 
 
-def _report(sweep_rows, cluster_rows, n, dim):
+def run_streaming_comparison(n=8000, dim=16, rho=1.0):
+    """Streaming solver, dense vs indexed passes; returns
+    (rows, labels per leg)."""
+    pts, eps = _blob_workload(n, dim)
+    rows, labels = [], {}
+    for leg in ("dense", "brute", "grid"):
+        dataset = MetricDataset(pts)
+        solver = StreamingApproxDBSCAN(
+            eps, MIN_PTS, rho=rho, index=None if leg == "dense" else leg
+        )
+        start = time.perf_counter()
+        result = solver.fit(dataset)
+        seconds = time.perf_counter() - start
+        labels[leg] = result.labels
+        counters = result.timings.counters
+        rows.append((
+            leg, f"{seconds:.3f}",
+            f"{counters.get('n_candidates', 0):,}",
+            f"{counters.get('peak_center_matrix_bytes', 0):,}",
+            result.stats["n_centers"], result.stats["summary_size"],
+        ))
+    return rows, labels
+
+
+def _report(sweep_rows, cluster_rows, n, dim, streaming_rows=None):
     lines = [
         "Index backends — raw ε-range queries over synthetic blobs",
         "",
@@ -126,20 +155,36 @@ def _report(sweep_rows, cluster_rows, n, dim):
          "clusters", "noise"],
         cluster_rows,
     )
+    if streaming_rows:
+        lines += [
+            "",
+            "Streaming — dense scans vs index-backed passes "
+            "(labels bit-identical)",
+            "",
+        ]
+        lines += format_table(
+            ["leg", "seconds", "candidates", "peak center B", "|E|", "|S*|"],
+            streaming_rows,
+        )
     write_report("index_backends", lines)
 
 
 def test_index_backends(benchmark):
-    sweep_rows, (cluster_rows, labels, seconds) = benchmark.pedantic(
-        lambda: (
-            run_range_sweep(n=4000, ct_divisor=2),
-            run_clustering_comparison(n=4000),
-        ),
-        rounds=1,
-        iterations=1,
+    sweep_rows, (cluster_rows, labels, seconds), (s_rows, s_labels) = (
+        benchmark.pedantic(
+            lambda: (
+                run_range_sweep(n=4000, ct_divisor=2),
+                run_clustering_comparison(n=4000),
+                run_streaming_comparison(n=3000),
+            ),
+            rounds=1,
+            iterations=1,
+        )
     )
-    _report(sweep_rows, cluster_rows, 4000, 16)
+    _report(sweep_rows, cluster_rows, 4000, 16, s_rows)
     assert np.array_equal(labels["brute"], labels["grid"])
+    assert np.array_equal(s_labels["dense"], s_labels["brute"])
+    assert np.array_equal(s_labels["dense"], s_labels["grid"])
 
 
 def main(argv=None) -> int:
@@ -155,7 +200,16 @@ def main(argv=None) -> int:
         n=min(n, 8000), ct_divisor=2 if args.quick else 4
     )
     cluster_rows, labels, seconds = run_clustering_comparison(n=n, dim=dim)
-    _report(sweep_rows, cluster_rows, n, dim)
+    streaming_rows, streaming_labels = run_streaming_comparison(
+        n=min(n, 8000), dim=dim
+    )
+    _report(sweep_rows, cluster_rows, n, dim, streaming_rows)
+    if not all(
+        np.array_equal(streaming_labels["dense"], streaming_labels[leg])
+        for leg in ("brute", "grid")
+    ):
+        print("FAIL: streaming index legs disagree with the dense scan")
+        return 1
 
     identical = np.array_equal(labels["brute"], labels["grid"])
     speedup = seconds["brute"] / seconds["grid"]

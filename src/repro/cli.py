@@ -58,9 +58,12 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--index", default=None, choices=available_backends(),
                          help="neighbor-index backend; when omitted, exact/"
                               "approx use the process default "
-                              "(REPRO_DEFAULT_INDEX env var, else auto) while "
+                              "(REPRO_DEFAULT_INDEX env var, else auto), "
+                              "streaming keeps its dense chunk scans, and "
                               "dbscan keeps its classic brute-force scan — it "
-                              "is the paper's Theta(n^2) reference")
+                              "is the paper's Theta(n^2) reference.  For "
+                              "streaming, the flag puts all three passes on "
+                              "dynamic indexes over the summary stores")
     return parser
 
 
@@ -86,7 +89,8 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             eps, args.min_pts, rho=args.rho, index=args.index
         ),
         "streaming": lambda: StreamingApproxDBSCAN(
-            eps, args.min_pts, rho=args.rho, metric=loaded.dataset.metric
+            eps, args.min_pts, rho=args.rho, metric=loaded.dataset.metric,
+            index=args.index,
         ),
         "dbscan": lambda: OriginalDBSCAN(eps, args.min_pts, index=args.index),
     }
@@ -104,8 +108,12 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         for phase, seconds in result.timings.phases.items():
             print(f"  {phase:<18} {seconds:8.3f}s "
                   f"({result.timings.fraction(phase):5.1%})")
-    interesting = ("n_centers", "summary_size", "memory_points", "memory_ratio")
+    interesting = ("n_centers", "summary_size", "memory_points", "memory_ratio",
+                   "index_backend")
     extras = {k: v for k, v in result.stats.items() if k in interesting}
+    peak = result.timings.counters.get("peak_center_matrix_bytes")
+    if peak is not None:
+        extras["peak_center_matrix_bytes"] = peak
     if extras:
         print(f"stats     : {extras}")
     return 0

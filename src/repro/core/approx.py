@@ -113,11 +113,12 @@ class ApproxMetricDBSCAN:
         Net radius for preprocessing, default ``ρε/2``; any smaller
         value also works (Remark 6).
     index:
-        Neighbor-index backend for the enlarged center merge graph of
-        Eq. (13) — a name from :mod:`repro.index`, a pre-configured
-        :class:`~repro.index.base.NeighborIndex`, or ``None`` for the
-        process default.  ``brute`` reuses the dense center-distance
-        matrix already harvested by Algorithm 1.
+        Neighbor-index backend — a name from :mod:`repro.index`, a
+        pre-configured :class:`~repro.index.base.NeighborIndex`, or
+        ``None`` for the process default.  Configures the incremental
+        center index Algorithm 1 maintains and the enlarged merge
+        graph of Eq. (13), which reuses that index instance instead of
+        thresholding a dense center matrix.
 
     Examples
     --------
@@ -157,11 +158,13 @@ class ApproxMetricDBSCAN:
         r_bar: float,
         eps_for_counts: Optional[float] = None,
         first_index: int = 0,
+        index: IndexSpec = None,
     ) -> GonzalezNet:
         """Run the Algorithm-1 preprocessing once for later reuse
         (Remark 6); pass ``eps_for_counts`` to harvest ball counts."""
         return radius_guided_gonzalez(
-            dataset, r_bar, eps_for_counts=eps_for_counts, first_index=first_index
+            dataset, r_bar, eps_for_counts=eps_for_counts,
+            first_index=first_index, index=index,
         )
 
     def fit(
@@ -176,8 +179,10 @@ class ApproxMetricDBSCAN:
         if net is None:
             with timings.phase("gonzalez"):
                 net = radius_guided_gonzalez(
-                    dataset, self.r_bar, eps_for_counts=eps
+                    dataset, self.r_bar, eps_for_counts=eps, index=self.index
                 )
+            for counter, value in net.counters.items():
+                timings.count(counter, value)
         else:
             if net.r_bar > rho * eps / 2.0 + 1e-12:
                 raise ValueError(

@@ -54,7 +54,10 @@ def net_from_cover_tree(
     """
     eps = check_epsilon(eps)
     if tree is None:
-        tree = CoverTree(dataset)
+        # The level-net extraction relies on the classic construction's
+        # separation invariant; the bulk build keeps queries exact but
+        # only guarantees covering.
+        tree = CoverTree(dataset, bulk=False)
     level = int(math.floor(math.log2(eps / 4.0)))
     center_list = tree.level_net(level)
     return _net_from_centers(dataset, center_list, r_bar=eps / 2.0)
@@ -94,11 +97,16 @@ def _net_from_centers(
             f"cover-tree net has covering radius {realized:.6g} > r_bar={r_bar:.6g}; "
             "the dataset may violate the cover-tree invariants"
         )
+    # This path materializes the dense matrix by construction (the
+    # assignment passes harvest it for free), so the net reports the
+    # dense footprint honestly and ``net_neighbor_sets`` thresholds it
+    # directly for the brute spec.
     return GonzalezNet(
         dataset=dataset,
         r_bar=float(r_bar),
         centers=centers,
         center_of=center_of,
         dist_to_center=dist_to_center,
-        center_distances=center_distances,
+        counters={"peak_center_matrix_bytes": int(m * m * 8)},
+        _center_distances=center_distances,
     )

@@ -67,14 +67,15 @@ class MetricDBSCAN:
         border point to the sorted list of every cluster owning a core
         point within ε of it.
     index:
-        Neighbor-index backend answering the center-center merge graph
-        (see :mod:`repro.index`): a backend name (``"brute"``,
-        ``"grid"``, ``"covertree"``, ``"auto"``), a pre-configured
-        :class:`~repro.index.base.NeighborIndex`, or ``None`` for the
-        process default (``REPRO_DEFAULT_INDEX`` env var, else
-        ``auto``).  ``brute`` reuses the dense center-distance matrix
-        Algorithm 1 already harvested; the sparse backends avoid the
-        quadratic ``|E|^2`` scan that dominates in high dimensions.
+        Neighbor-index backend (see :mod:`repro.index`): a backend name
+        (``"brute"``, ``"grid"``, ``"covertree"``, ``"auto"``), a
+        pre-configured :class:`~repro.index.base.NeighborIndex`, or
+        ``None`` for the process default (``REPRO_DEFAULT_INDEX`` env
+        var, else ``auto``).  The spec configures both the incremental
+        center index Algorithm 1 maintains while the net grows and the
+        center-center merge graph queries, which reuse that same index
+        instance — no dense ``|E|²`` matrix is materialized on any
+        path.
 
     Examples
     --------
@@ -114,14 +115,21 @@ class MetricDBSCAN:
 
     @staticmethod
     def precompute(
-        dataset: MetricDataset, r_bar: float, first_index: int = 0
+        dataset: MetricDataset,
+        r_bar: float,
+        first_index: int = 0,
+        index: IndexSpec = None,
     ) -> GonzalezNet:
         """Run the Algorithm-1 preprocessing once for later reuse.
 
         For parameter tuning, choose ``r_bar = ε0/2`` where ``ε0`` lower
-        bounds every ε you intend to try (Remark 5).
+        bounds every ε you intend to try (Remark 5).  The incremental
+        center index built during the run rides along on the net and is
+        reused by every subsequent :meth:`fit`.
         """
-        return radius_guided_gonzalez(dataset, r_bar, first_index=first_index)
+        return radius_guided_gonzalez(
+            dataset, r_bar, first_index=first_index, index=index
+        )
 
     def fit(
         self, dataset: MetricDataset, net: Optional[GonzalezNet] = None
@@ -143,7 +151,9 @@ class MetricDBSCAN:
 
         if net is None:
             with timings.phase("gonzalez"):
-                net = radius_guided_gonzalez(dataset, self.r_bar)
+                net = radius_guided_gonzalez(dataset, self.r_bar, index=self.index)
+            for counter, value in net.counters.items():
+                timings.count(counter, value)
         else:
             if net.r_bar > eps / 2.0 + 1e-12:
                 raise ValueError(

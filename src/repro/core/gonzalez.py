@@ -42,25 +42,50 @@ batched distance engine instead:
   triangle-inequality facts), instead of rescanning all ``n`` points
   per center.
 
-Two by-products of the run are kept because the DBSCAN solvers need
-them:
+Incremental center index
+------------------------
+Earlier revisions harvested a dense ``(|E|, |E|)`` center-distance
+matrix as a by-product — quadratic memory that ROADMAP.md flagged as
+*the* blocker for GIST/DEEP1B-scale nets.  The loop now maintains a
+**dynamic** :class:`~repro.index.base.NeighborIndex` over the growing
+center set instead (``insert_batch`` after every round), and every
+center-center question becomes a range query against it:
 
-- the **center-center distance matrix**: yields the neighbor ball-center
-  sets ``A_p`` (Eq. (1) / Eq. (13)) for any threshold, which is what
-  makes parameter re-tuning free (Remark 5);
-- optional **ε-ball counts** ``|B(e, ε) ∩ X|`` per center; Algorithm 2
-  uses them to classify centers as core points without extra work
-  (Lemma 10).
+- the round flush's Feder–Greene pair pruning queries the pending
+  centers against the pre-flush centers at radius ``2·max group
+  distance``;
+- the final nearest-center refinement queries all centers at ``2r̄``;
+- the harvested ε-ball counts query at ``ε + max group radius``;
+- the exact/approx merge graphs
+  (:func:`repro.index.netgraph.net_neighbor_sets`) reuse the very same
+  index instance — no second build.
+
+Peak center-structure memory therefore scales with the *realized*
+neighbor degree, ``O(|E|·deg)``, never ``O(|E|²)``; the run reports it
+as the ``peak_center_matrix_bytes`` counter (surfaced through
+``TimingBreakdown.counters``).  The dense matrix remains available as
+the lazily computed :attr:`GonzalezNet.center_distances` property for
+tests and small-scale inspection, but no solver path materializes it.
+
+The optional **ε-ball counts** ``|B(e, ε) ∩ X|`` per center are still
+harvested when requested; Algorithm 2 uses them to classify centers as
+core points without extra work (Lemma 10).
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.index.base import NeighborIndex
+from repro.index.registry import (
+    IndexSpec,
+    build_dynamic_index,
+    resolve_grown_index_name,
+)
 from repro.metricspace.dataset import MetricDataset, pairs_per_slice
 from repro.utils.validation import check_epsilon
 
@@ -95,12 +120,22 @@ class GonzalezNet:
         closest center ``c_p``.  Ties keep the earliest-inserted center.
     dist_to_center:
         ``dis(p, c_p)`` for each point; all entries are ``<= r̄``.
-    center_distances:
-        Symmetric ``(|E|, |E|)`` matrix of center-center distances.
+    index:
+        The incremental :class:`~repro.index.base.NeighborIndex` the
+        run maintained over the center set — handed straight to
+        :func:`repro.index.netgraph.net_neighbor_sets` so the merge
+        graphs need no second build.  ``None`` for nets assembled
+        without one (the cover-tree extraction path).
     ball_counts_eps:
         The ε used for the harvested ball counts, if any.
     ball_counts:
         ``|B(e, ε) ∩ X|`` for each center (only if requested).
+    counters:
+        Construction instrumentation: ``peak_center_matrix_bytes``
+        (peak bytes of center-pair working set — the ``O(|E|·deg)``
+        replacement of the old dense ``|E|²·8`` matrix),
+        ``net_range_queries`` / ``net_candidates`` (index work spent
+        inside the loop), and ``net_build_evals`` for tree backends.
     iterations:
         Number of centers added == number of loop iterations + 1.
     """
@@ -110,15 +145,52 @@ class GonzalezNet:
     centers: List[int]
     center_of: np.ndarray
     dist_to_center: np.ndarray
-    center_distances: np.ndarray
+    index: Optional[NeighborIndex] = None
     ball_counts_eps: Optional[float] = None
     ball_counts: Optional[np.ndarray] = None
+    counters: Dict[str, int] = field(default_factory=dict)
+    _center_distances: Optional[np.ndarray] = field(default=None, repr=False)
     _cover_sets: Optional[List[np.ndarray]] = field(default=None, repr=False)
+    _position_of: Optional[np.ndarray] = field(default=None, repr=False)
 
     @property
     def n_centers(self) -> int:
         """``|E|``."""
         return len(self.centers)
+
+    @property
+    def has_dense_center_matrix(self) -> bool:
+        """Whether the dense center matrix is *already* materialized
+        (cover-tree nets, or after a :attr:`center_distances` access).
+        Consumers use this to pick the free dense threshold scan over
+        re-querying; nothing should materialize the matrix to get it."""
+        return self._center_distances is not None
+
+    @property
+    def center_distances(self) -> np.ndarray:
+        """Dense symmetric ``(|E|, |E|)`` center-distance matrix.
+
+        Computed lazily (``O(|E|²)`` evaluations and memory) and
+        cached; kept for tests, notebooks, and small nets.  No solver
+        path touches it — the incremental :attr:`index` answers every
+        center-center query sparsely.
+        """
+        if self._center_distances is None:
+            dense = self.dataset.cross(self.centers, self.centers)
+            dense = np.minimum(dense, dense.T)
+            np.fill_diagonal(dense, 0.0)
+            self._center_distances = dense
+        return self._center_distances
+
+    def positions_of(self) -> np.ndarray:
+        """Point-index → center-position lookup (``-1`` off-centers)."""
+        if self._position_of is None:
+            lookup = np.full(self.dataset.n, -1, dtype=np.int64)
+            lookup[np.asarray(self.centers, dtype=np.intp)] = np.arange(
+                self.n_centers
+            )
+            self._position_of = lookup
+        return self._position_of
 
     @property
     def iterations(self) -> int:
@@ -151,10 +223,19 @@ class GonzalezNet:
         With ``threshold = 2r̄ + ε`` this is the paper's ``A_p`` of
         Eq. (1) for every ``p`` with ``c_p = e_j``; Algorithm 2 uses the
         enlarged ``threshold = 4r̄ + ε`` of Eq. (13).
+
+        Answered with sparse range queries through :attr:`index` when
+        the net carries one (nothing quadratic is materialized); nets
+        without an index — or with the dense matrix already in hand —
+        threshold that matrix directly.
         """
         if threshold < 0:
             raise ValueError(f"threshold must be non-negative, got {threshold}")
         m = self.n_centers
+        if self.index is not None and not self.has_dense_center_matrix:
+            from repro.index.netgraph import center_neighbor_sets
+
+            return center_neighbor_sets(self, float(threshold), self.index)
         rows, cols = np.nonzero(self.center_distances <= threshold)
         split = np.searchsorted(rows, np.arange(m + 1))
         return [cols[split[j] : split[j + 1]] for j in range(m)]
@@ -192,6 +273,15 @@ class GonzalezNet:
         m = self.n_centers
         if m < 2:
             return False
+        if self.index is not None and not self.has_dense_center_matrix:
+            results = self.index.range_query_batch(
+                np.asarray(self.centers, dtype=np.intp),
+                self.r_bar,
+                with_distances=False,
+            )
+            # Each center reports itself at distance 0; any second hit
+            # is a packing violation.
+            return any(len(ids) > 1 for ids, _ in results)
         off_diag = self.center_distances[~np.eye(m, dtype=bool)]
         return bool(off_diag.min() <= self.r_bar)
 
@@ -256,20 +346,26 @@ def _lazy_sequential_picks(
     return picks
 
 
-def _expand_pairs(order, boundaries, ks, js):
+def _expand_pairs(order, boundaries, ks, js, vals=None):
     """Expand center-pair adjacency into a COO point-center pair list.
 
     For every adjacent center pair ``(k, j)``, emits the members of
     group ``k`` (positions into ``order``'s domain) paired with center
     ``j``.  Fully vectorized; returns ``(points, centers)`` arrays of
-    equal length.
+    equal length — plus ``vals`` repeated per emitted member when a
+    per-pair value array (e.g. the pair's center-center distance) is
+    supplied.
     """
     starts = boundaries[ks]
     lengths = boundaries[ks + 1] - starts
     nonempty = lengths > 0
     starts, lengths, js = starts[nonempty], lengths[nonempty], js[nonempty]
+    if vals is not None:
+        vals = np.asarray(vals)[nonempty]
     if lengths.size == 0:
         empty = np.empty(0, dtype=np.int64)
+        if vals is not None:
+            return empty, empty, np.empty(0, dtype=np.float64)
         return empty, empty
     ends = np.cumsum(lengths)
     flat = (
@@ -277,6 +373,8 @@ def _expand_pairs(order, boundaries, ks, js):
         - np.repeat(ends - lengths, lengths)
         + np.repeat(starts, lengths)
     )
+    if vals is not None:
+        return order[flat], np.repeat(js, lengths), np.repeat(vals, lengths)
     return order[flat], np.repeat(js, lengths)
 
 
@@ -287,6 +385,7 @@ def radius_guided_gonzalez(
     first_index: int = 0,
     max_centers: Optional[int] = None,
     round_size: Optional[int] = None,
+    index: IndexSpec = None,
 ) -> GonzalezNet:
     """Run Algorithm 1 on ``dataset`` with radius bound ``r̄``.
 
@@ -312,6 +411,13 @@ def radius_guided_gonzalez(
         ``DEFAULT_ROUND_SIZE`` for vector metrics and single-pick
         rounds for scalar metrics, whose candidate blocks would cost
         real distance evaluations.
+    index:
+        Backend spec (see :mod:`repro.index`) for the incremental
+        center index the loop maintains; ``None`` defers to the
+        process default.  The pick sequence and every output field are
+        backend-independent — the backend only changes how the
+        center-center range queries are pruned.  The built index rides
+        along on :attr:`GonzalezNet.index` for downstream reuse.
 
     Returns
     -------
@@ -322,7 +428,9 @@ def radius_guided_gonzalez(
     Total cost is ``O(|E| · n)`` distance evaluations worst-case, where
     ``|E| = O((Δ/r̄)^D) + z`` under Assumption 1 (Lemma 1); the batched
     active-set implementation typically evaluates far fewer because
-    covered points leave the working set.
+    covered points leave the working set.  Peak center-structure
+    memory is ``O(|E|·deg)``, reported as the
+    ``peak_center_matrix_bytes`` counter.
     """
     if r_bar <= 0 or not np.isfinite(r_bar):
         raise ValueError(f"r_bar must be positive and finite, got {r_bar}")
@@ -357,55 +465,89 @@ def radius_guided_gonzalez(
     true_dist = np.asarray(metric.expand_reduced(red_dist), dtype=np.float64)
     center_of = np.zeros(n, dtype=np.int64)
     active = np.flatnonzero(red_dist > red_r)
-    # Center-center distance rows harvested per round: cc_rows[t] is the
-    # (K_t, m_after_round_t) block of the round's new centers against
-    # every center known by the end of that round.
-    cc_rows: List[np.ndarray] = []
+    position_of = np.full(n, -1, dtype=np.int64)
+    position_of[first_index] = 0
+    # The incremental center index: queried by every round flush, the
+    # final refinement and the ball-count harvest, then handed to the
+    # caller on the net.  The hint matches the widest post-loop query
+    # radius so grid cells come out usefully sized.  Name specs resolve
+    # through the grown-index policy: auto resolves against the
+    # dataset size (the worst-case |E|, since the index starts from one
+    # center) and an auto-picked grid is probe-validated on a dataset
+    # sample, falling back to brute on degenerate projections.
+    hint = 2.0 * r_bar + (eps_for_counts if harvest_counts else 0.0)
+    index_spec: IndexSpec = index
+    if index_spec is None or isinstance(index_spec, str):
+        index_spec = resolve_grown_index_name(
+            index, dataset, n, radius_hint=hint
+        )
+    center_index = build_dynamic_index(
+        index_spec, dataset, indices=[first_index], radius_hint=hint
+    )
+    net_counters: Dict[str, int] = {"peak_center_matrix_bytes": 0}
+
+    def track_pairs(n_pairs: int, bytes_per_pair: int = 24) -> None:
+        """Record the peak concurrent center-pair working set — the
+        quantity that used to be the dense ``|E|²·8`` matrix."""
+        net_counters["peak_center_matrix_bytes"] = max(
+            net_counters["peak_center_matrix_bytes"], n_pairs * bytes_per_pair
+        )
 
     flush_base = 1  # centers already reflected in red_dist/center_of
-    flush_block = 0  # cc_rows blocks already consumed by a flush
     round_cap = int(np.clip(active.size // 64, min(8, round_size), round_size))
 
     def flush_pending() -> None:
         """Fold all pending centers into red_dist/center_of/active."""
-        nonlocal flush_base, flush_block, active
+        nonlocal flush_base, active
         base = flush_base
         if len(centers) == base:
             active = active[red_dist[active] > red_r]
             return
-        # Rows of the pending centers against the pre-flush centers,
-        # stacked from the mini-round harvest blocks.
-        cc_new = np.concatenate([b[:, :base] for b in cc_rows[flush_block:]])
-        flush_block = len(cc_rows)
+        pending = np.asarray(centers[base:], dtype=np.intp)
         act_assign = center_of[active]
         group_max = np.zeros(base, dtype=np.float64)
         np.maximum.at(group_max, act_assign, true_dist[active])
-        # (new center, old center) pairs that can possibly steal points;
-        # stale true distances are upper bounds, so the pruning is a
-        # superset of the exact one.  Only occupied groups participate.
-        occupied = np.flatnonzero(group_max > 0.0)
-        reachable = (
-            cc_new[:, occupied] < 2.0 * group_max[occupied][None, :] * _PRUNE_SLACK
-        )
-        js_new, es_pos = np.nonzero(reachable)
-        es = occupied[es_pos]
+        # (new center, old center) pairs that can possibly steal points:
+        # one range query per pending center against the pre-flush index
+        # (the pending centers are not inserted yet), at the global
+        # bound 2·max(group_max), then tightened per pair to the
+        # receiving group's own bound.  Stale true distances are upper
+        # bounds, so the pruning is a superset of the exact one.
+        gmax = float(group_max.max())
+        es = np.empty(0, dtype=np.int64)
+        js_new = np.empty(0, dtype=np.int64)
+        d_ce = np.empty(0, dtype=np.float64)
+        if gmax > 0.0:
+            results = center_index.range_query_batch(
+                pending, 2.0 * gmax * _PRUNE_SLACK
+            )
+            sizes = [len(ids) for ids, _ in results]
+            total = int(np.sum(sizes))
+            if total:
+                track_pairs(total)
+                es = position_of[
+                    np.concatenate([ids for ids, _ in results])
+                ]
+                d_ce = np.concatenate([dists for _, dists in results])
+                js_new = np.repeat(np.arange(len(results)), sizes)
+                keep = d_ce < 2.0 * group_max[es] * _PRUNE_SLACK
+                es, js_new, d_ce = es[keep], js_new[keep], d_ce[keep]
         if es.size:
             # Sort only the actives whose group is actually reachable.
             affected = np.zeros(base, dtype=bool)
             affected[es] = True
             sub_active = active[affected[act_assign]]
             order, boundaries = _group_boundaries(center_of[sub_active], base)
-            pair_pos, pair_new = _expand_pairs(order, boundaries, es, js_new)
-            pair_point = sub_active[pair_pos]
-            # Per-point tightening of the group-level bound.
-            keep = (
-                cc_new[pair_new, center_of[pair_point]]
-                < 2.0 * true_dist[pair_point] * _PRUNE_SLACK
+            pair_pos, pair_new, pair_d = _expand_pairs(
+                order, boundaries, es, js_new, vals=d_ce
             )
+            pair_point = sub_active[pair_pos]
+            # Per-point tightening of the group-level bound: pair_d is
+            # dis(new center, the point's current center).
+            keep = pair_d < 2.0 * true_dist[pair_point] * _PRUNE_SLACK
             pair_point, pair_new = pair_point[keep], pair_new[keep]
             if pair_point.size:
-                new_arr = np.asarray(centers[base:], dtype=np.intp)
-                d = dataset.pair(pair_point, new_arr[pair_new], reduced=True)
+                d = dataset.pair(pair_point, pending[pair_new], reduced=True)
                 # All updates stay confined to the pair set: strictly
                 # improved points reset to a sentinel so the position
                 # minimum picks the winning (earliest) new center; on
@@ -503,37 +645,42 @@ def radius_guided_gonzalez(
         )
 
         if round_centers:
+            base = len(centers)
             centers.extend(round_centers)
-            # Harvest this round's center-center distance rows.
-            cc_rows.append(dataset.cross(round_centers, centers))
+            position_of[np.asarray(round_centers, dtype=np.intp)] = (
+                base + np.arange(len(round_centers))
+            )
         flush_pending()
+        if round_centers:
+            # The flush queried the pending centers against the
+            # pre-round index; only now do they join it.
+            center_index.insert_batch(
+                np.asarray(round_centers, dtype=np.intp)
+            )
 
     flush_pending()
     m = len(centers)
     centers_arr = np.asarray(centers, dtype=np.intp)
-    center_distances = np.zeros((m, m), dtype=np.float64)
-    row_start = 1
-    for cc_block in cc_rows:
-        row_end = row_start + cc_block.shape[0]
-        center_distances[row_start:row_end, : cc_block.shape[1]] = cc_block
-        row_start = row_end
-    # One symmetrization instead of per-round strided column writes
-    # (every pair is covered by the row block of its later center).
-    center_distances = np.maximum(center_distances, center_distances.T)
-    np.fill_diagonal(center_distances, 0.0)
 
     # Refine covered points to their *nearest* center: the frozen
     # assignment is within r̄, so any closer center must lie within 2r̄
-    # of it.  The candidate (point, center) pairs form a COO list built
-    # from the center-distance matrix and evaluated with one aligned
-    # pair kernel — no per-group Python loop.
+    # of it.  The candidate (point, center) pairs come from one range
+    # query per center against the finished index (O(|E|·deg) pairs)
+    # and are evaluated with one aligned pair kernel — no per-group
+    # Python loop, no dense adjacency.
     covered = red_dist <= red_r
     cov_idx = np.flatnonzero(covered)
     if m > 1 and cov_idx.size:
         order, boundaries = _group_boundaries(center_of[cov_idx], m)
-        adjacency = center_distances <= 2.0 * r_bar * _PRUNE_SLACK
-        np.fill_diagonal(adjacency, False)
-        ks, js = np.nonzero(adjacency)
+        results = center_index.range_query_batch(
+            centers_arr, 2.0 * r_bar * _PRUNE_SLACK, with_distances=False
+        )
+        sizes = [len(ids) for ids, _ in results]
+        ks = np.repeat(np.arange(m), sizes)
+        js = position_of[np.concatenate([ids for ids, _ in results])]
+        self_hit = ks != js
+        ks, js = ks[self_hit], js[self_hit]
+        track_pairs(ks.size, bytes_per_pair=16)
         pair_pos, pair_center = _expand_pairs(order, boundaries, ks, js)
         if pair_pos.size:
             pair_point = cov_idx[pair_pos]
@@ -577,20 +724,33 @@ def radius_guided_gonzalez(
     counts: Optional[np.ndarray] = None
     if harvest_counts:
         counts = _pruned_ball_counts(
-            dataset, centers_arr, center_of, true_dist, center_distances,
-            eps_for_counts,
+            dataset, centers_arr, center_of, true_dist, center_index,
+            position_of, eps_for_counts, track_pairs,
         )
 
-    return GonzalezNet(
+    # Construction instrumentation lives on the net; the index counters
+    # restart from zero so downstream consumers (the merge graphs) see
+    # clean per-phase deltas.
+    for counter, value in center_index.counters().items():
+        key = {"n_range_queries": "net_range_queries",
+               "n_candidates": "net_candidates",
+               "n_build_evals": "net_build_evals"}.get(counter, counter)
+        net_counters[key] = int(value)
+    center_index.reset_counters()
+
+    net = GonzalezNet(
         dataset=dataset,
         r_bar=float(r_bar),
         centers=centers,
         center_of=center_of,
         dist_to_center=true_dist,
-        center_distances=center_distances,
+        index=center_index,
         ball_counts_eps=eps_for_counts if harvest_counts else None,
         ball_counts=counts,
+        counters=net_counters,
     )
+    net._position_of = position_of
+    return net
 
 
 def _pruned_ball_counts(
@@ -598,8 +758,10 @@ def _pruned_ball_counts(
     centers_arr: np.ndarray,
     center_of: np.ndarray,
     true_dist: np.ndarray,
-    center_distances: np.ndarray,
+    center_index: NeighborIndex,
+    position_of: np.ndarray,
     eps: float,
+    track_pairs,
 ) -> np.ndarray:
     """Exact ``|B(e, ε) ∩ X|`` per center via cover-set pruning.
 
@@ -611,8 +773,11 @@ def _pruned_ball_counts(
     - ``d(e_k, e_j) + g_k < ε``  →  every point of ``C_k`` is within ε
       of ``e_j`` (count the whole group without evaluating anything).
 
-    Only groups in the annulus between the two bounds are evaluated,
-    with one aligned pair kernel over the COO pair list.
+    The annulus pairs come from one range query per center against the
+    incremental center index at the global bound ``ε + max g_k``,
+    filtered per row to ``reach_at[k]`` — ``O(|E|·deg)`` pairs, never a
+    dense matrix.  Only groups in the annulus between the two bounds
+    are evaluated, with one aligned pair kernel over the COO pair list.
     """
     metric = dataset.metric
     m = len(centers_arr)
@@ -623,16 +788,23 @@ def _pruned_ball_counts(
     group_radius = np.zeros(m, dtype=np.float64)
     np.maximum.at(group_radius, center_of, true_dist)
 
-    # Row thresholds fold the group radius in, so each decision is one
-    # broadcast compare over the center-distance matrix (no m^2 temp).
-    # The wholesale bound keeps a strict margin so kernel rounding in a
-    # direct evaluation can never disagree with the wholesale decision.
+    # Row thresholds fold the group radius in.  The wholesale bound
+    # keeps a strict margin so kernel rounding in a direct evaluation
+    # can never disagree with the wholesale decision.
     reach_at = (eps + group_radius) * _PRUNE_SLACK
     whole_at = eps * (1.0 - 1e-12) - group_radius
     counts = np.zeros(m, dtype=np.int64)
-    ks, js = np.nonzero(center_distances <= reach_at[:, None])
-    # Wholesale test only on the sparse reach set, not the full matrix.
-    whole = (center_distances[ks, js] <= whole_at[ks])
+    results = center_index.range_query_batch(
+        centers_arr, float(reach_at.max())
+    )
+    sizes = [len(ids) for ids, _ in results]
+    ks = np.repeat(np.arange(m), sizes)
+    js = position_of[np.concatenate([ids for ids, _ in results])]
+    d_kj = np.concatenate([dists for _, dists in results])
+    track_pairs(ks.size)
+    in_reach = d_kj <= reach_at[ks]
+    ks, js, d_kj = ks[in_reach], js[in_reach], d_kj[in_reach]
+    whole = d_kj <= whole_at[ks]
     np.add.at(counts, js[whole], group_sizes[ks[whole]])
     ks, js = ks[~whole], js[~whole]
     pair_point, pair_center = _expand_pairs(order, boundaries, ks, js)

@@ -25,6 +25,16 @@ Memory is ``|E| + |M| = O((Δ/ρε)^D + z)`` payloads (Theorem 4); the
 exact footprint is reported in the result stats (the quantity Figure 6
 plots as ``(|E| + |M|)/n``).
 
+With ``index=`` set, the center/watch/summary stores live in
+:class:`~repro.metricspace.dataset.GrowingMetricDataset` instances and
+every full scan above becomes a range query against a dynamic
+:class:`~repro.index.base.NeighborIndex`: pass 1 probes each arrival
+against the center index (inserting new centers as the summary grows),
+pass 2 counts ``|B(m, ε)|`` through an index over ``M``, and pass 3
+labels through the center and summary indexes.  The labels are
+bit-identical to the dense-scan path — the index only changes which
+candidates reach the exact distance filter.
+
 Implementation detail vs. the pseudo-code: a center's detected count in
 pass 1 misses points that arrived *before* the center was created, so a
 truly-core center can end pass 1 undetected.  We therefore place each
@@ -42,12 +52,23 @@ from typing import Any, Callable, Iterable, Iterator, List, Optional
 import numpy as np
 
 from repro.core.result import ClusteringResult
+from repro.index.base import NeighborIndex
+from repro.index.registry import IndexSpec, build_dynamic_index, build_index
 from repro.metricspace.base import Metric
-from repro.metricspace.dataset import MetricDataset, rows_per_block
+from repro.metricspace.dataset import (
+    GrowingMetricDataset,
+    MetricDataset,
+    PayloadStore,
+    rows_per_block,
+)
 from repro.metricspace.euclidean import EuclideanMetric
 from repro.utils.timer import TimingBreakdown
 from repro.utils.unionfind import UnionFind
 from repro.utils.validation import check_epsilon, check_min_pts, check_rho
+
+#: Backwards-compatible alias — the store now lives in
+#: :mod:`repro.metricspace.dataset` so the index layer can build over it.
+_PayloadStore = PayloadStore
 
 StreamFactory = Callable[[], Iterable[Any]]
 
@@ -86,60 +107,6 @@ class _GrowingCounts:
         return self._data[: self._size]
 
 
-class _PayloadStore:
-    """Append-only payload buffer with a cheap batch-distance view.
-
-    Vector payloads live in a doubling numpy buffer so the metric's
-    vectorized batch path applies; other payloads live in a list.
-    """
-
-    def __init__(self, metric: Metric) -> None:
-        self._metric = metric
-        self._vector = metric.is_vector_metric
-        self._list: List[Any] = []
-        self._array: Optional[np.ndarray] = None
-        self._size = 0
-
-    def __len__(self) -> int:
-        return self._size
-
-    def append(self, payload: Any) -> int:
-        idx = self._size
-        if self._vector:
-            row = np.asarray(payload, dtype=np.float64).ravel()
-            if self._array is None:
-                self._array = np.empty((4, row.shape[0]), dtype=np.float64)
-            elif self._size == self._array.shape[0]:
-                grown = np.empty(
-                    (2 * self._array.shape[0], self._array.shape[1]),
-                    dtype=np.float64,
-                )
-                grown[: self._size] = self._array[: self._size]
-                self._array = grown
-            self._array[self._size] = row
-        else:
-            self._list.append(payload)
-        self._size += 1
-        return idx
-
-    def view(self) -> Any:
-        """All stored payloads (array slice or list)."""
-        if self._vector:
-            if self._array is None:
-                return np.empty((0, 0), dtype=np.float64)
-            return self._array[: self._size]
-        return self._list
-
-    def get(self, idx: int) -> Any:
-        return self._array[idx] if self._vector else self._list[idx]
-
-    def distances_from(self, payload: Any) -> np.ndarray:
-        """Distances from ``payload`` to every stored payload."""
-        if self._size == 0:
-            return np.empty(0, dtype=np.float64)
-        return self._metric.distance_many(payload, self.view())
-
-
 class StreamingApproxDBSCAN:
     """Streaming ρ-approximate DBSCAN (Algorithm 3).
 
@@ -152,6 +119,12 @@ class StreamingApproxDBSCAN:
         Theorem 4; the experiments use 0.5/1/2).
     metric:
         Distance function over stream payloads; defaults to Euclidean.
+    index:
+        Optional :mod:`repro.index` backend spec.  When set, the
+        center/watch/summary probes of all three passes run as range
+        queries against dynamic indexes over the summary stores
+        instead of dense scans; labels are identical either way.
+        ``None`` (default) keeps the dense chunk-vectorized path.
 
     Examples
     --------
@@ -170,12 +143,14 @@ class StreamingApproxDBSCAN:
         min_pts: int,
         rho: float = 0.5,
         metric: Optional[Metric] = None,
+        index: IndexSpec = None,
     ) -> None:
         self.eps = check_epsilon(eps)
         self.min_pts = check_min_pts(min_pts)
         self.rho = check_rho(rho)
         self.r_bar = self.rho * self.eps / 2.0
         self.metric = metric if metric is not None else EuclideanMetric()
+        self.index = index
 
     # ------------------------------------------------------------------
 
@@ -225,13 +200,29 @@ class StreamingApproxDBSCAN:
         red_eps = metric.reduce_threshold(eps)
         red_r = metric.reduce_threshold(self.r_bar)
 
-        centers = _PayloadStore(metric)
+        use_index = self.index is not None
+        # The stores are index-buildable datasets either way; the dense
+        # path just never builds one.
+        centers = GrowingMetricDataset(metric)
         detected = _GrowingCounts()  # detected ε-ball count per center
-        watch = _PayloadStore(metric)  # the set M
+        watch = GrowingMetricDataset(metric)  # the set M
         watch_center: List[int] = []  # arrival-time center of each M entry
         watch_is_center: List[bool] = []
         center_watch_pos: List[int] = []  # center -> its own M position
         n_seen = 0
+        center_index: Optional[NeighborIndex] = None
+        # Pass-1 probes must see every center that could (a) collect an
+        # ε-hit or (b) cover the arrival within r̄.
+        probe_radius = max(eps, self.r_bar)
+
+        def _index_spec():
+            """A fresh spec per structure: a pre-configured instance
+            cannot serve the center, watch and summary stores at once
+            (the center index claims it; siblings are spawned)."""
+            spec = self.index
+            if isinstance(spec, NeighborIndex):
+                return spec.spawn()
+            return spec
 
         def _observe(payload: Any, base_red: Optional[np.ndarray] = None) -> None:
             """Per-element pass-1 step (used when chunk vectorization is
@@ -274,53 +265,140 @@ class StreamingApproxDBSCAN:
                 watch_center.append(nearest)
                 watch_is_center.append(False)
 
+        def _observe_candidates(payload: Any, cand: np.ndarray) -> Optional[int]:
+            """Sequential pass-1 step against an explicit candidate set.
+
+            ``cand`` must contain every center within ``probe_radius``
+            of ``payload`` (it may contain more); the exact reduced
+            distances to the candidates reproduce the dense path's
+            decisions bit-for-bit.  Returns the new center id, if any.
+            """
+            det = detected.view()
+            if cand.size:
+                red = metric.reduced_distance_many(payload, centers.gather(cand))
+                within = red <= red_eps
+                det[cand[within]] += 1
+                kmin = int(np.argmin(red))
+                nearest, nearest_red = int(cand[kmin]), float(red[kmin])
+            else:
+                nearest, nearest_red = -1, np.inf
+            if nearest_red > red_r:
+                j = centers.append(payload)
+                detected.append(1)  # the center counts itself
+                pos = watch.append(payload)
+                watch_center.append(j)
+                watch_is_center.append(True)
+                center_watch_pos.append(pos)
+                return j
+            if det[nearest] < min_pts:
+                watch.append(payload)
+                watch_center.append(nearest)
+                watch_is_center.append(False)
+            return None
+
         with timings.phase("pass1_build_net"):
-            for chunk in _stream_chunks(
-                stream_factory(), lambda: rows_per_block(max(1, len(centers)))
-            ):
-                n_seen += len(chunk)
-                m0 = len(centers)
-                if m0 == 0:
-                    scalar_from = 0
-                else:
-                    # One block against the centers known at chunk start;
-                    # rows before the first new center are batch-applied,
-                    # the rest fall back to the per-element step.
-                    block = metric.reduced_cross(chunk, centers.view())
-                    row_min = block.min(axis=1)
-                    row_arg = block.argmin(axis=1)
-                    violations = np.flatnonzero(row_min > red_r)
-                    scalar_from = (
-                        int(violations[0]) if violations.size else len(chunk)
+            if use_index:
+                for chunk in _stream_chunks(
+                    stream_factory(), lambda: rows_per_block(max(1, len(centers)))
+                ):
+                    n_seen += len(chunk)
+                    m0 = len(centers)
+                    snapshot = (
+                        center_index.range_query_points(
+                            chunk, probe_radius, with_distances=False
+                        )
+                        if m0
+                        else None
                     )
-                    if scalar_from > 0:
-                        within = block[:scalar_from] <= red_eps
-                        # Inclusive arrival-time counts decide watching.
-                        cum = np.cumsum(within, axis=0, dtype=np.int64)
-                        nearest = row_arg[:scalar_from]
-                        incl = detected.view()[nearest] + cum[
-                            np.arange(scalar_from), nearest
-                        ]
-                        detected.view()[:m0] += cum[-1]
-                        for r in np.flatnonzero(incl < min_pts):
-                            watch.append(chunk[int(r)])
-                            watch_center.append(int(nearest[r]))
-                            watch_is_center.append(False)
-                for pos in range(scalar_from, len(chunk)):
-                    _observe(chunk[pos], block[pos] if m0 else None)
+                    fresh: List[int] = []  # centers created mid-chunk
+                    for i, payload in enumerate(chunk):
+                        parts = []
+                        if snapshot is not None:
+                            parts.append(snapshot[i][0])
+                        if fresh:
+                            parts.append(np.asarray(fresh, dtype=np.intp))
+                        cand = (
+                            np.concatenate(parts)
+                            if parts
+                            else np.empty(0, dtype=np.intp)
+                        )
+                        j = _observe_candidates(payload, cand)
+                        if j is not None:
+                            fresh.append(j)
+                    if fresh:
+                        if center_index is None:
+                            center_index = build_dynamic_index(
+                                self.index, centers, radius_hint=probe_radius
+                            )
+                        else:
+                            center_index.insert_batch(
+                                np.arange(center_index.n_stored, len(centers))
+                            )
+            else:
+                for chunk in _stream_chunks(
+                    stream_factory(), lambda: rows_per_block(max(1, len(centers)))
+                ):
+                    n_seen += len(chunk)
+                    m0 = len(centers)
+                    if m0 == 0:
+                        scalar_from = 0
+                    else:
+                        # One block against the centers known at chunk
+                        # start; rows before the first new center are
+                        # batch-applied, the rest fall back to the
+                        # per-element step.
+                        block = metric.reduced_cross(chunk, centers.view())
+                        row_min = block.min(axis=1)
+                        row_arg = block.argmin(axis=1)
+                        violations = np.flatnonzero(row_min > red_r)
+                        scalar_from = (
+                            int(violations[0]) if violations.size else len(chunk)
+                        )
+                        if scalar_from > 0:
+                            within = block[:scalar_from] <= red_eps
+                            # Inclusive arrival-time counts decide watching.
+                            cum = np.cumsum(within, axis=0, dtype=np.int64)
+                            nearest = row_arg[:scalar_from]
+                            incl = detected.view()[nearest] + cum[
+                                np.arange(scalar_from), nearest
+                            ]
+                            detected.view()[:m0] += cum[-1]
+                            for r in np.flatnonzero(incl < min_pts):
+                                watch.append(chunk[int(r)])
+                                watch_center.append(int(nearest[r]))
+                                watch_is_center.append(False)
+                    for pos in range(scalar_from, len(chunk)):
+                        _observe(chunk[pos], block[pos] if m0 else None)
 
         m_centers = len(centers)
         detected_arr = detected.view().copy()
 
+        watch_index: Optional[NeighborIndex] = None
         with timings.phase("pass2_recount"):
             exact_counts = np.zeros(len(watch), dtype=np.int64)
             if len(watch):
-                watch_view = watch.view()
-                for chunk in _stream_chunks(
-                    stream_factory(), lambda: rows_per_block(len(watch))
-                ):
-                    block = metric.reduced_cross(chunk, watch_view)
-                    exact_counts += np.count_nonzero(block <= red_eps, axis=0)
+                if use_index:
+                    # |B(m, ε)| per watch point: stream elements range-
+                    # query the watch index; each hit is one count.
+                    watch_index = build_index(
+                        _index_spec(), watch, radius_hint=eps
+                    )
+                    for chunk in _stream_chunks(
+                        stream_factory(), lambda: rows_per_block(len(watch))
+                    ):
+                        for ids, _ in watch_index.range_query_points(
+                            chunk, eps, with_distances=False
+                        ):
+                            exact_counts[ids] += 1
+                else:
+                    watch_view = watch.view()
+                    for chunk in _stream_chunks(
+                        stream_factory(), lambda: rows_per_block(len(watch))
+                    ):
+                        block = metric.reduced_cross(chunk, watch_view)
+                        exact_counts += np.count_nonzero(
+                            block <= red_eps, axis=0
+                        )
             watch_core = exact_counts >= min_pts
 
         with timings.phase("pass2_summary"):
@@ -330,7 +408,7 @@ class StreamingApproxDBSCAN:
                     center_is_core[j] = True
             # Assemble S*: core centers, plus core watch-list points whose
             # center is not core.
-            summary_payloads = _PayloadStore(metric)
+            summary_payloads = GrowingMetricDataset(metric)
             summary_center: List[int] = []
             center_summary_pos = np.full(m_centers, -1, dtype=np.int64)
             for j in range(m_centers):
@@ -345,11 +423,31 @@ class StreamingApproxDBSCAN:
                     summary_payloads.append(watch.get(pos))
                     summary_center.append(j)
 
+        summary_index: Optional[NeighborIndex] = None
         with timings.phase("pass2_merge"):
-            member_cluster = self._merge_offline(summary_payloads, metric)
+            if use_index and len(summary_payloads) > 1:
+                summary_index = build_index(
+                    _index_spec(),
+                    summary_payloads,
+                    radius_hint=(1.0 + self.rho) * eps,
+                )
+                member_cluster = self._merge_indexed(
+                    summary_payloads, summary_index, timings
+                )
+            else:
+                member_cluster = self._merge_offline(
+                    summary_payloads, metric, timings
+                )
+            if use_index and summary_index is None and len(summary_payloads):
+                summary_index = build_index(
+                    _index_spec(),
+                    summary_payloads,
+                    radius_hint=(1.0 + self.rho / 2.0) * eps,
+                )
 
         labels = np.empty(n_seen, dtype=np.int64)
-        red_fallback = metric.reduce_threshold((self.rho / 2.0 + 1.0) * eps)
+        fallback_radius = (self.rho / 2.0 + 1.0) * eps
+        red_fallback = metric.reduce_threshold(fallback_radius)
         with timings.phase("pass3_label"):
             offset = 0
             summary_view = summary_payloads.view()
@@ -361,49 +459,104 @@ class StreamingApproxDBSCAN:
                 if offset + len(chunk) > n_seen:
                     raise ValueError("stream grew between passes")
                 chunk_labels = np.full(len(chunk), -1, dtype=np.int64)
-                block = metric.reduced_cross(chunk, centers_view)
-                nearest = block.argmin(axis=1)
-                nearest_red = block[np.arange(len(chunk)), nearest]
-                fast = center_is_core[nearest] & (nearest_red <= red_r)
-                chunk_labels[fast] = member_cluster[
-                    center_summary_pos[nearest[fast]]
-                ]
-                rest = np.flatnonzero(~fast)
-                if rest.size and len(summary_payloads):
-                    sblock = metric.reduced_cross(
-                        [chunk[int(i)] for i in rest], summary_view
-                    )
-                    spos = sblock.argmin(axis=1)
-                    sred = sblock[np.arange(rest.size), spos]
-                    ok = sred <= red_fallback
-                    chunk_labels[rest[ok]] = member_cluster[spos[ok]]
+                if use_index:
+                    # Fast path: the nearest center, provided it covers
+                    # the point within r̄ — every such center is a hit
+                    # of the r̄-range query, so the in-radius argmin is
+                    # the global argmin whenever the dense path would
+                    # have taken this branch.
+                    rest: List[int] = []
+                    if center_index is not None:
+                        cres = center_index.range_query_points(
+                            chunk, self.r_bar, with_distances=False
+                        )
+                    for i, payload in enumerate(chunk):
+                        hit = (
+                            cres[i][0]
+                            if center_index is not None
+                            else np.empty(0, dtype=np.intp)
+                        )
+                        if hit.size:
+                            red = metric.reduced_distance_many(
+                                payload, centers.gather(hit)
+                            )
+                            kmin = int(np.argmin(red))
+                            j = int(hit[kmin])
+                            if center_is_core[j]:
+                                chunk_labels[i] = member_cluster[
+                                    center_summary_pos[j]
+                                ]
+                                continue
+                        rest.append(i)
+                    if rest and summary_index is not None:
+                        sres = summary_index.range_query_points(
+                            [chunk[i] for i in rest], fallback_radius,
+                            with_distances=False,
+                        )
+                        for i, (ids, _) in zip(rest, sres):
+                            if ids.size:
+                                red = metric.reduced_distance_many(
+                                    chunk[i], summary_payloads.gather(ids)
+                                )
+                                chunk_labels[i] = member_cluster[
+                                    int(ids[int(np.argmin(red))])
+                                ]
+                else:
+                    block = metric.reduced_cross(chunk, centers_view)
+                    nearest = block.argmin(axis=1)
+                    nearest_red = block[np.arange(len(chunk)), nearest]
+                    fast = center_is_core[nearest] & (nearest_red <= red_r)
+                    chunk_labels[fast] = member_cluster[
+                        center_summary_pos[nearest[fast]]
+                    ]
+                    rest_arr = np.flatnonzero(~fast)
+                    if rest_arr.size and len(summary_payloads):
+                        sblock = metric.reduced_cross(
+                            [chunk[int(i)] for i in rest_arr], summary_view
+                        )
+                        spos = sblock.argmin(axis=1)
+                        sred = sblock[np.arange(rest_arr.size), spos]
+                        ok = sred <= red_fallback
+                        chunk_labels[rest_arr[ok]] = member_cluster[spos[ok]]
                 labels[offset : offset + len(chunk)] = chunk_labels
                 offset += len(chunk)
 
-        memory_points = m_centers + len(watch)
+        stats = {
+            "algorithm": "our_streaming",
+            "eps": eps,
+            "min_pts": min_pts,
+            "rho": self.rho,
+            "n_centers": m_centers,
+            "watch_size": len(watch),
+            "summary_size": len(summary_payloads),
+            "memory_points": m_centers + len(watch),
+            "memory_ratio": (m_centers + len(watch)) / max(n_seen, 1),
+            "n_passes": 3,
+            "n_seen": n_seen,
+        }
+        if use_index:
+            stats["index_backend"] = (
+                center_index.name if center_index is not None else None
+            )
+            for idx in (center_index, watch_index, summary_index):
+                if idx is None:
+                    continue
+                for counter, value in idx.counters().items():
+                    timings.count(counter, value)
         return ClusteringResult(
             labels=labels,
             core_mask=None,
             timings=timings,
-            stats={
-                "algorithm": "our_streaming",
-                "eps": eps,
-                "min_pts": min_pts,
-                "rho": self.rho,
-                "n_centers": m_centers,
-                "watch_size": len(watch),
-                "summary_size": len(summary_payloads),
-                "memory_points": memory_points,
-                "memory_ratio": memory_points / max(n_seen, 1),
-                "n_passes": 3,
-                "n_seen": n_seen,
-            },
+            stats=stats,
         )
 
     # ------------------------------------------------------------------
 
     def _merge_offline(
-        self, summary: _PayloadStore, metric: Optional[Metric] = None
+        self,
+        summary,
+        metric: Optional[Metric] = None,
+        timings: Optional[TimingBreakdown] = None,
     ) -> np.ndarray:
         """Line 15: merge inside ``S*`` at threshold ``(1+ρ)ε``.
 
@@ -417,9 +570,36 @@ class StreamingApproxDBSCAN:
         if size > 1:
             payloads = summary.view()
             block = metric.reduced_cross(payloads, payloads)
+            if timings is not None:
+                timings.count("peak_center_matrix_bytes", 8 * size * size)
             rows, cols = np.nonzero(block <= red_threshold)
             upper = rows < cols
             for i, j in zip(rows[upper], cols[upper]):
+                uf.union(int(i), int(j))
+        labels_map = uf.component_labels(range(size))
+        return np.array([labels_map[i] for i in range(size)], dtype=np.int64)
+
+    def _merge_indexed(
+        self,
+        summary: MetricDataset,
+        index: NeighborIndex,
+        timings: Optional[TimingBreakdown] = None,
+    ) -> np.ndarray:
+        """Index-backed summary merge: one ``(1+ρ)ε`` range query per
+        summary point instead of the dense ``|S*|²`` block, producing
+        the identical edge set (and therefore identical components)."""
+        size = len(summary)
+        uf = UnionFind(size)
+        results = index.range_query_batch(
+            np.arange(size, dtype=np.intp),
+            (1.0 + self.rho) * self.eps,
+            with_distances=False,
+        )
+        n_pairs = sum(len(ids) for ids, _ in results)
+        if timings is not None:
+            timings.count("peak_center_matrix_bytes", 16 * n_pairs)
+        for i, (ids, _) in enumerate(results):
+            for j in ids[ids > i]:
                 uf.union(int(i), int(j))
         labels_map = uf.component_labels(range(size))
         return np.array([labels_map[i] for i in range(size)], dtype=np.int64)

@@ -15,11 +15,13 @@ walks the centers of a ``r̄ = ρε/2`` Gonzalez net:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from repro.core.gonzalez import GonzalezNet
+from repro.index.netgraph import net_neighbor_sets
+from repro.index.registry import IndexSpec
 from repro.metricspace.dataset import MetricDataset
 
 
@@ -63,7 +65,8 @@ def build_summary(
     net: GonzalezNet,
     eps: float,
     min_pts: int,
-    neighbors: List[np.ndarray],
+    neighbors: Optional[List[np.ndarray]] = None,
+    index: IndexSpec = None,
 ) -> CoreSummary:
     """Construct ``S*`` per Algorithm 2 (lines 2--8).
 
@@ -78,11 +81,16 @@ def build_summary(
     neighbors:
         Neighbor ball-center sets ``A_e`` computed at a threshold of at
         least ``2 r̄ + ε`` so the Lemma-2 candidate bound applies —
-        produced either by thresholding the dense center-distance
-        matrix or by sparse range queries through a
-        :mod:`repro.index` backend
-        (:func:`repro.index.netgraph.net_neighbor_sets`); both yield
-        the same sorted position lists.
+        produced by sparse range queries through a :mod:`repro.index`
+        backend (:func:`repro.index.netgraph.net_neighbor_sets`, which
+        reuses the incremental index the net already carries) or by
+        thresholding a dense center matrix; both yield the same sorted
+        position lists.  ``None`` computes them here through ``index``
+        (the process-default backend when that is ``None`` too), so a
+        standalone summary build never needs anything quadratic.
+    index:
+        Backend spec for the ``neighbors=None`` path; ignored when
+        ``neighbors`` is given.
 
     Notes
     -----
@@ -90,6 +98,8 @@ def build_summary(
     tests only happen inside sparse cover sets, whose sizes are below
     ``MinPts``.
     """
+    if neighbors is None:
+        neighbors = net_neighbor_sets(net, 2.0 * net.r_bar + eps, index)
     cover = net.cover_sets()
     counts = net.ball_count_for(eps)
     center_is_core = counts >= min_pts

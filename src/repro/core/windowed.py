@@ -36,9 +36,10 @@ from typing import Any, Deque, Dict, List, Optional
 
 import numpy as np
 
-from repro.core.streaming import _PayloadStore
+from repro.index.base import NeighborIndex
+from repro.index.registry import IndexSpec, build_dynamic_index
 from repro.metricspace.base import Metric
-from repro.metricspace.dataset import rows_per_block
+from repro.metricspace.dataset import GrowingMetricDataset, rows_per_block
 from repro.metricspace.euclidean import EuclideanMetric
 from repro.utils.unionfind import UnionFind
 from repro.utils.validation import check_epsilon, check_min_pts, check_rho
@@ -80,6 +81,13 @@ class WindowedApproxDBSCAN:
         ``[window - window/n_buckets, window]``.
     metric:
         Distance function over payloads (Euclidean default).
+    index:
+        Optional :mod:`repro.index` backend spec.  When set, a dynamic
+        index over the live-center store answers every arrival /
+        predict / cluster-refresh probe as a range query: new centers
+        are inserted as they are allocated, and bucket expiry rebuilds
+        the index over the surviving slots (delete-or-rebuild).
+        Clustering output is identical to the dense-scan path.
 
     Examples
     --------
@@ -99,6 +107,7 @@ class WindowedApproxDBSCAN:
         window: int = 1000,
         n_buckets: int = 8,
         metric: Optional[Metric] = None,
+        index: IndexSpec = None,
     ) -> None:
         self.eps = check_epsilon(eps)
         self.min_pts = check_min_pts(min_pts)
@@ -121,8 +130,11 @@ class WindowedApproxDBSCAN:
 
         self._centers: List[Optional[_LiveCenter]] = []
         self._free_slots: List[int] = []
-        self._store = _PayloadStore(self.metric)  # parallel payload buffer
+        self._store = GrowingMetricDataset(self.metric)  # parallel payload buffer
         self._slot_alive: List[bool] = []
+        self.index = index
+        self._index: Optional[NeighborIndex] = None
+        self._probe_radius = max(self.eps, self.r_bar)
         self._live_buckets: Deque[int] = deque()
         self._bucket_centers: Dict[int, List[int]] = {}
         self._current_bucket = 0
@@ -137,6 +149,24 @@ class WindowedApproxDBSCAN:
     def insert(self, payload: Any) -> None:
         """Process one stream arrival (and expire old buckets)."""
         self._advance_bucket()
+        if self.index is not None:
+            # Candidate centers from one range query; every center
+            # that could collect an ε-hit or cover within r̄ is a hit.
+            if self._index is not None:
+                hits = self._index.range_query_points(
+                    [payload], self._probe_radius, with_distances=False
+                )[0][0]
+                slots = [int(s) for s in hits]
+            else:
+                slots = []
+            red = (
+                self._reduced_to_slots(payload, slots)
+                if slots
+                else np.empty(0, dtype=np.float64)
+            )
+            self._apply_arrival(payload, slots, red)
+            self._finish_arrival()
+            return
         alive = self._alive_slots()
         red = (
             self._reduced_to_slots(payload, alive)
@@ -156,8 +186,15 @@ class WindowedApproxDBSCAN:
         against centers created inside the same chunk fall back to
         incremental one-to-many calls.  Chunks never span a bucket
         boundary, so the snapshot cannot be invalidated by expiry.
+
+        With an index configured each arrival is already a sparse
+        range query, so this simply loops :meth:`insert`.
         """
         payloads = list(payloads)
+        if self.index is not None:
+            for payload in payloads:
+                self.insert(payload)
+            return
         pos = 0
         while pos < len(payloads):
             self._advance_bucket()  # may expire buckets: snapshot after
@@ -232,12 +269,26 @@ class WindowedApproxDBSCAN:
             self._in_bucket = 0
 
     def _expire_bucket(self, bucket: int) -> None:
-        for slot in self._bucket_centers.pop(bucket, []):
+        expired = self._bucket_centers.pop(bucket, [])
+        for slot in expired:
             self._slot_alive[slot] = False
             self._centers[slot] = None
             self._free_slots.append(slot)
         for slot in self._alive_slots():
             self._centers[slot].expire(bucket)
+        if self.index is not None and expired:
+            # Delete-or-rebuild: the backends have no point removal, so
+            # eviction rebuilds over the surviving slots — once per
+            # expired bucket, never per arrival.
+            alive = self._alive_slots()
+            self._index = (
+                build_dynamic_index(
+                    self.index, self._store, indices=alive,
+                    radius_hint=self._probe_radius,
+                )
+                if alive
+                else None
+            )
 
     def _allocate(self, payload: Any) -> int:
         center = _LiveCenter(payload, self._current_bucket)
@@ -245,17 +296,20 @@ class WindowedApproxDBSCAN:
             slot = self._free_slots.pop()
             self._centers[slot] = center
             self._slot_alive[slot] = True
-            # Overwrite the payload row in place for vector metrics.
-            if self._store._vector:
-                self._store._array[slot] = np.asarray(
-                    payload, dtype=np.float64
-                ).ravel()
+            # Overwrite the payload row in place (recycled slot).
+            self._store.set(slot, payload)
+        else:
+            slot = self._store.append(payload)
+            self._centers.append(center)
+            self._slot_alive.append(True)
+        if self.index is not None:
+            if self._index is None:
+                self._index = build_dynamic_index(
+                    self.index, self._store, indices=[slot],
+                    radius_hint=self._probe_radius,
+                )
             else:
-                self._store._list[slot] = payload
-            return slot
-        slot = self._store.append(payload)
-        self._centers.append(center)
-        self._slot_alive.append(True)
+                self._index.insert(slot)
         return slot
 
     def _alive_slots(self) -> List[int]:
@@ -282,13 +336,25 @@ class WindowedApproxDBSCAN:
         alive = self._alive_slots()
         core = [s for s in alive if self._centers[s].total_count >= self.min_pts]
         uf = UnionFind(len(core))
-        if len(core) > 1:
+        threshold = (1.0 + self.rho) * self.eps
+        if len(core) > 1 and self._index is not None:
+            # One range query per core center; non-core hits are
+            # filtered out, yielding the same edge set as the block.
+            pos_of = {slot: i for i, slot in enumerate(core)}
+            results = self._index.range_query_batch(
+                np.asarray(core, dtype=np.intp), threshold,
+                with_distances=False,
+            )
+            for i, (ids, _) in enumerate(results):
+                for s in ids:
+                    j = pos_of.get(int(s))
+                    if j is not None and j > i:
+                        uf.union(i, j)
+        elif len(core) > 1:
             # One many-to-many block over the core centers replaces the
             # per-center sweep.
             batch = self._slot_batch(core)
-            red_threshold = self.metric.reduce_threshold(
-                (1.0 + self.rho) * self.eps
-            )
+            red_threshold = self.metric.reduce_threshold(threshold)
             block = self.metric.reduced_cross(batch, batch)
             rows, cols = np.nonzero(block <= red_threshold)
             upper = rows < cols
@@ -308,9 +374,19 @@ class WindowedApproxDBSCAN:
         core_slots = list(self._center_cluster)
         if not core_slots:
             return -1
+        radius = (1.0 + self.rho / 2.0) * self.eps
+        if self._index is not None:
+            hits = self._index.range_query_points(
+                [payload], radius, with_distances=False
+            )[0][0]
+            cand = [int(s) for s in hits if int(s) in self._center_cluster]
+            if not cand:
+                return -1
+            red = self._reduced_to_slots(payload, cand)
+            return self._center_cluster[cand[int(np.argmin(red))]]
         red = self._reduced_to_slots(payload, core_slots)
         pos = int(np.argmin(red))
-        red_radius = self.metric.reduce_threshold((1.0 + self.rho / 2.0) * self.eps)
+        red_radius = self.metric.reduce_threshold(radius)
         if float(red[pos]) <= red_radius:
             return self._center_cluster[core_slots[pos]]
         return -1

@@ -42,6 +42,13 @@ class _Node:
         self.duplicates: List[int] = []
 
 
+#: Stored-set size at which vector-metric construction switches to the
+#: level-batched bulk build (``bulk=None`` auto policy): below it the
+#: classic sequential insertion's small candidate batches are cheap
+#: enough that restructuring cannot pay for itself.
+BULK_BUILD_MIN = 1024
+
+
 class CoverTree:
     """Cover tree over (a subset of) a metric dataset.
 
@@ -52,6 +59,18 @@ class CoverTree:
     indices:
         Which points to insert.  Defaults to all of them, in index order
         (construction is deterministic).
+    bulk:
+        Construction strategy.  ``False`` inserts sequentially (the
+        classic algorithm, maintaining the covering *and* separation
+        invariants).  ``True`` uses the level-batched divisive build:
+        each sibling pick evaluates its whole remaining member set with
+        one ``Metric.cross`` block, which removes the per-node Python
+        candidate juggling that dominates construction for cheap vector
+        metrics.  Bulk trees satisfy the covering invariant (so every
+        query remains exact) but may violate *separation* across
+        sibling subtrees; use ``False`` when :meth:`level_net` packing
+        matters.  ``None`` (default) picks bulk for vector metrics at
+        ``>= BULK_BUILD_MIN`` points.
 
     Notes
     -----
@@ -61,7 +80,10 @@ class CoverTree:
     """
 
     def __init__(
-        self, dataset: MetricDataset, indices: Optional[Iterable[int]] = None
+        self,
+        dataset: MetricDataset,
+        indices: Optional[Iterable[int]] = None,
+        bulk: Optional[bool] = None,
     ) -> None:
         self.dataset = dataset
         self._root: Optional[_Node] = None
@@ -72,8 +94,87 @@ class CoverTree:
         self.n_distance_evals = 0
         if indices is None:
             indices = range(dataset.n)
-        for idx in indices:
-            self.insert(int(idx))
+        idx_list = [int(i) for i in indices]
+        if bulk is None:
+            bulk = (
+                dataset.metric.is_vector_metric
+                and len(idx_list) >= BULK_BUILD_MIN
+            )
+        if bulk and len(idx_list) >= 2:
+            self._bulk_build(idx_list)
+        else:
+            for idx in idx_list:
+                self.insert(idx)
+
+    # ------------------------------------------------------------------
+    # Bulk construction
+
+    def _cross_row(self, idx: int, targets: np.ndarray) -> np.ndarray:
+        """True distances from point ``idx`` to ``targets`` in one
+        instrumented block kernel."""
+        if targets.size == 0:
+            return np.empty(0, dtype=np.float64)
+        self.n_distance_evals += int(targets.size)
+        return np.asarray(
+            self.dataset.cross([idx], targets)[0], dtype=np.float64
+        )
+
+    def _bulk_build(self, indices: List[int]) -> None:
+        """Divisive level-batched construction.
+
+        Top-down recursion on (node, level, members): members within
+        ``2^(level-1)`` of the node descend with it; the rest are split
+        into sibling balls by greedy picks, each pick classifying its
+        whole remaining set with one :meth:`_cross_row` call.  The
+        covering invariant (descendants of a conceptual level-``k``
+        node within ``2^(k+1)``) holds throughout, which is what the
+        query pruning relies on.
+        """
+        p0 = indices[0]
+        rest = np.asarray(indices[1:], dtype=np.intp)
+        d0 = self._cross_row(p0, rest)
+        dup = d0 == 0.0
+        duplicates = [int(x) for x in rest[dup]]
+        rest, d0 = rest[~dup], d0[~dup]
+        if rest.size == 0:
+            self._root = _Node(p0, level=0)
+            self._root.duplicates = duplicates
+            self._size = 1 + len(duplicates)
+            return
+        top = _level_for(float(d0.max()))
+        self._root = _Node(p0, level=top)
+        self._root.duplicates = duplicates
+        self._size = 1 + len(duplicates) + int(rest.size)
+        stack: List[tuple] = [(self._root, top, rest, d0)]
+        while stack:
+            node, level, members, dmem = stack.pop()
+            if members.size == 0:
+                continue
+            # Jump straight past empty levels (all members much closer
+            # than the current scale).
+            level = min(level, _level_for(float(dmem.max())))
+            radius = 2.0 ** (level - 1)
+            near = dmem <= radius
+            if near.any():
+                stack.append((node, level - 1, members[near], dmem[near]))
+            far, dfar = members[~near], dmem[~near]
+            while far.size:
+                c = int(far[0])
+                child = _Node(c, level=level - 1)
+                node.children.append(child)
+                rest_far, drest = far[1:], dfar[1:]
+                if rest_far.size == 0:
+                    break
+                dc = self._cross_row(c, rest_far)
+                dup_c = dc == 0.0
+                if dup_c.any():
+                    child.duplicates.extend(int(x) for x in rest_far[dup_c])
+                    keep = ~dup_c
+                    rest_far, drest, dc = rest_far[keep], drest[keep], dc[keep]
+                mine = dc <= radius
+                if mine.any():
+                    stack.append((child, level - 1, rest_far[mine], dc[mine]))
+                far, dfar = rest_far[~mine], drest[~mine]
 
     # ------------------------------------------------------------------
     # Introspection

@@ -9,7 +9,7 @@ selected by name through :func:`build_index` (``auto`` policy, or the
 :mod:`repro.index.base` for the interface contract.
 """
 
-from repro.index.base import NeighborIndex, QueryResult
+from repro.index.base import DynamicIndexWrapper, NeighborIndex, QueryResult
 from repro.index.brute import BruteForceIndex
 from repro.index.covertree import CoverTreeIndex
 from repro.index.grid import GridIndex
@@ -17,18 +17,23 @@ from repro.index.netgraph import center_neighbor_sets, net_neighbor_sets
 from repro.index.registry import (
     AUTO_BRUTE_MAX,
     DEFAULT_INDEX_ENV,
+    GRID_PROBE_MAX_RATIO,
+    GRID_PROBE_QUERIES,
     INDEX_REGISTRY,
     IndexSpec,
     available_backends,
+    build_dynamic_index,
     build_index,
     default_index_name,
     register_index,
+    resolve_grown_index_name,
     resolve_index_name,
 )
 
 __all__ = [
     "NeighborIndex",
     "QueryResult",
+    "DynamicIndexWrapper",
     "BruteForceIndex",
     "GridIndex",
     "CoverTreeIndex",
@@ -38,9 +43,13 @@ __all__ = [
     "INDEX_REGISTRY",
     "AUTO_BRUTE_MAX",
     "DEFAULT_INDEX_ENV",
+    "GRID_PROBE_MAX_RATIO",
+    "GRID_PROBE_QUERIES",
     "available_backends",
+    "build_dynamic_index",
     "build_index",
     "default_index_name",
     "register_index",
+    "resolve_grown_index_name",
     "resolve_index_name",
 ]

@@ -30,7 +30,9 @@ Contract
 - Queries are **global dataset indices** (the batch entry points), so
   backends can route exact-filter evaluations through the instrumented
   :class:`~repro.metricspace.dataset.MetricDataset` kernels and the
-  ``n_cross_evals`` attribution of PR 1 stays meaningful.
+  ``n_cross_evals`` attribution of PR 1 stays meaningful.  Streaming
+  consumers whose query payloads are *not* dataset points use the
+  :meth:`NeighborIndex.range_query_points` companion instead.
 - Results are **global point indices sorted ascending**, paired with
   true (non-reduced) distances aligned to them.  Sorted order makes
   every backend bit-compatible with the dense ``np.nonzero`` scans it
@@ -42,13 +44,29 @@ Contract
   answering them.  Solvers surface both via
   ``TimingBreakdown.counters`` next to ``n_cross_evals`` so speedups
   stay attributable.
+
+Dynamic indexes
+---------------
+Backends with ``supports_insert = True`` accept :meth:`insert` /
+:meth:`insert_batch` after :meth:`build`, growing the stored set
+without a rebuild: the brute backend appends to its block store, the
+grid bins new points into cells in amortized O(1), and the cover tree
+uses its native insert.  An index grown by inserts answers every query
+exactly as one built fresh over the union (the incremental-equivalence
+suite in ``tests/test_index_dynamic.py`` pins this per backend).
+Backends that cannot insert are served by :class:`DynamicIndexWrapper`,
+which buffers inserts and lazily rebuilds its inner backend before the
+next query.  This is what lets Algorithm 1 maintain one incremental
+index over its growing center set instead of materializing the dense
+``|E|²`` center matrix, and lets the streaming/windowed solvers index
+their summary as it grows.
 """
 
 from __future__ import annotations
 
 import copy
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -70,9 +88,17 @@ class NeighborIndex(ABC):
     #: Registry name of the backend (set by subclasses).
     name: str = "abstract"
 
+    #: Whether the backend implements :meth:`_insert` (native dynamic
+    #: growth).  Backends without it still work behind
+    #: :class:`DynamicIndexWrapper`.
+    supports_insert: bool = False
+
     def __init__(self) -> None:
         self.dataset: Optional[MetricDataset] = None
-        #: Global indices of the stored points, sorted ascending.
+        #: Global indices of the stored points: sorted ascending after
+        #: :meth:`build`, then in insertion order as :meth:`insert_batch`
+        #: appends (query *results* stay sorted by global index either
+        #: way — that is the contract, not the internal order).
         self.stored: Optional[np.ndarray] = None
         self.radius_hint: Optional[float] = None
         self.n_range_queries = 0
@@ -128,6 +154,47 @@ class NeighborIndex(ABC):
     def _build(self) -> None:
         """Backend hook: construct the search structure over
         ``self.stored``."""
+
+    # ------------------------------------------------------------------
+    # Dynamic growth
+
+    def insert(self, index: int) -> None:
+        """Add one dataset point to the stored set (see
+        :meth:`insert_batch`)."""
+        self.insert_batch(np.asarray([index], dtype=np.intp))
+
+    def insert_batch(self, indices: IndexArray) -> None:
+        """Add dataset points to a built index without rebuilding.
+
+        ``indices`` are global dataset indices, none of which may
+        already be stored.  After the call the index answers
+        ``range_query`` / ``knn`` exactly as one built fresh over the
+        union (the incremental-equivalence contract).  The dataset
+        itself may have grown since :meth:`build` (streaming summaries
+        append payloads); new indices only need to be valid *now*.
+        """
+        self._require_built()
+        new = np.asarray(indices, dtype=np.intp)
+        if new.size == 0:
+            return
+        if len(np.unique(new)) != len(new):
+            raise ValueError("insert_batch received duplicate point indices")
+        if new.min() < 0 or new.max() >= self.dataset.n:
+            raise ValueError("insert_batch received out-of-range point indices")
+        if np.isin(new, self.stored).any():
+            raise ValueError("insert_batch received already-stored point indices")
+        if not self.supports_insert:
+            raise NotImplementedError(
+                f"{type(self).__name__} cannot insert; wrap it in "
+                "DynamicIndexWrapper for rebuild-on-insert semantics"
+            )
+        self.stored = np.concatenate([self.stored, new])
+        self._insert(new)
+
+    def _insert(self, new: np.ndarray) -> None:
+        """Backend hook: extend the structure with the points ``new``
+        (already appended to ``self.stored``)."""
+        raise NotImplementedError
 
     def spawn(self) -> "NeighborIndex":
         """An unbuilt sibling carrying this backend's configuration.
@@ -195,6 +262,21 @@ class NeighborIndex(ABC):
         (fewer than ``k`` when the index stores fewer points).
         """
 
+    def range_query_points(
+        self, payloads: Sequence, radius: float, with_distances: bool = True
+    ) -> List[QueryResult]:
+        """Range queries for payloads that are *not* dataset points.
+
+        The streaming solvers probe arriving stream elements against an
+        index over their center/summary stores; those queries cannot be
+        phrased as global indices.  Semantics otherwise match
+        :meth:`range_query_batch`: one ``(stored indices sorted
+        ascending, true distances)`` answer per payload.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support payload queries"
+        )
+
     # ------------------------------------------------------------------
     # Instrumentation
 
@@ -232,3 +314,109 @@ def check_k(k: int) -> int:
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     return k
+
+
+class DynamicIndexWrapper(NeighborIndex):
+    """Rebuild-fallback giving insert semantics to any backend.
+
+    Wraps an (unbuilt) backend instance; :meth:`insert_batch` only
+    buffers, and the inner index is rebuilt over the full stored set
+    lazily before the next query.  With the solvers' batch-inserts-
+    then-query-phases access pattern that amortizes to one rebuild per
+    phase, which is the best a static structure can do.
+
+    The wrapper reports the *inner* backend's registry ``name`` so
+    spec-resolution reuse checks (``net_neighbor_sets``) see through
+    it, and folds the inner counters across rebuilds so instrumentation
+    accumulates like a native dynamic backend's.
+    """
+
+    supports_insert = True
+
+    def __init__(self, inner: NeighborIndex) -> None:
+        super().__init__()
+        if isinstance(inner, DynamicIndexWrapper):
+            raise TypeError("refusing to wrap a DynamicIndexWrapper in another")
+        self.inner = inner
+        self.name = inner.name
+        self._pending = False
+        self._folded_queries = 0
+        self._folded_candidates = 0
+
+    def _build(self) -> None:
+        self.inner.build(
+            self.dataset, indices=self.stored, radius_hint=self.radius_hint
+        )
+        self._pending = False
+        self._folded_queries = 0
+        self._folded_candidates = 0
+
+    def _insert(self, new: np.ndarray) -> None:
+        self._pending = True
+
+    def _fresh(self) -> NeighborIndex:
+        if self._pending:
+            # Inner builds zero their counters; fold before rebuilding.
+            self._folded_queries += self.inner.n_range_queries
+            self._folded_candidates += self.inner.n_candidates
+            self.inner.build(
+                self.dataset, indices=self.stored, radius_hint=self.radius_hint
+            )
+            self._pending = False
+        return self.inner
+
+    def _sync(self) -> None:
+        self.n_range_queries = self._folded_queries + self.inner.n_range_queries
+        self.n_candidates = self._folded_candidates + self.inner.n_candidates
+
+    def range_query_batch(
+        self, queries: IndexArray, radius: float, with_distances: bool = True
+    ) -> List[QueryResult]:
+        out = self._fresh().range_query_batch(
+            queries, radius, with_distances=with_distances
+        )
+        self._sync()
+        return out
+
+    def range_query_points(
+        self, payloads: Sequence, radius: float, with_distances: bool = True
+    ) -> List[QueryResult]:
+        out = self._fresh().range_query_points(
+            payloads, radius, with_distances=with_distances
+        )
+        self._sync()
+        return out
+
+    def knn(self, query: int, k: int) -> QueryResult:
+        out = self._fresh().knn(query, k)
+        self._sync()
+        return out
+
+    def counters(self) -> Dict[str, int]:
+        self._sync()
+        out = self.inner.counters()
+        out["n_range_queries"] = int(self.n_range_queries)
+        out["n_candidates"] = int(self.n_candidates)
+        return out
+
+    def reset_counters(self) -> None:
+        super().reset_counters()
+        self._folded_queries = 0
+        self._folded_candidates = 0
+        inner = getattr(self, "inner", None)
+        if inner is not None:
+            inner.reset_counters()
+
+    def spawn(self) -> "NeighborIndex":
+        # Not super().spawn(): that resets counters on the shallow
+        # copy while it still shares ``inner`` with the original,
+        # wiping the live wrapper's counts.  Swap in the spawned inner
+        # first, then reset the clone only.
+        clone = copy.copy(self)
+        clone.inner = self.inner.spawn()
+        clone.dataset = None
+        clone.stored = None
+        clone.radius_hint = None
+        clone._pending = False
+        clone.reset_counters()
+        return clone

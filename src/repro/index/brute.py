@@ -10,24 +10,37 @@ any per-query pruning overhead.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 import numpy as np
 
 from repro.index.base import NeighborIndex, QueryResult, check_k, check_radius
-from repro.metricspace.dataset import IndexArray
+from repro.metricspace.dataset import IndexArray, rows_per_block
 
 
 class BruteForceIndex(NeighborIndex):
     """Linear-scan neighbor index over the batched distance engine."""
 
     name = "brute"
+    supports_insert = True
 
     def _build(self) -> None:
         # Nothing to precompute: the stored index array *is* the
         # structure.  When it covers the whole dataset, targets=None
         # lets the kernels skip the gather entirely.
         self._all = self.n_stored == self.dataset.n
+
+    def _insert(self, new: np.ndarray) -> None:
+        # Re-sorting keeps the scan order — and therefore every query
+        # answer — bit-identical to a fresh build over the union.
+        self.stored = np.sort(self.stored)
+        self._all = self.n_stored == self.dataset.n
+
+    def _targets(self):
+        # targets=None (skip the gather) only while the stored set still
+        # covers the whole dataset — growable datasets may have gained
+        # points since build/insert.
+        return None if self._all and self.n_stored == self.dataset.n else self.stored
 
     def range_query_batch(
         self, queries: IndexArray, radius: float, with_distances: bool = True
@@ -36,7 +49,7 @@ class BruteForceIndex(NeighborIndex):
         radius = check_radius(radius)
         metric = dataset.metric
         red_radius = metric.reduce_threshold(radius)
-        targets = None if self._all else self.stored
+        targets = self._targets()
         out: List[QueryResult] = []
         for _, block in dataset.cross_blocks(
             queries=queries, targets=targets, reduced=True
@@ -56,11 +69,41 @@ class BruteForceIndex(NeighborIndex):
         self.n_candidates += len(out) * self.n_stored
         return out
 
+    def range_query_points(
+        self, payloads: Sequence, radius: float, with_distances: bool = True
+    ) -> List[QueryResult]:
+        dataset = self._require_built()
+        radius = check_radius(radius)
+        metric = dataset.metric
+        red_radius = metric.reduce_threshold(radius)
+        stored_payloads = dataset.gather(self.stored)
+        out: List[QueryResult] = []
+        step = rows_per_block(self.n_stored)
+        for lo in range(0, len(payloads), step):
+            chunk = payloads[lo : lo + step]
+            block = metric.reduced_cross(chunk, stored_payloads)
+            dataset.n_cross_blocks += 1
+            dataset.n_cross_evals += block.size
+            hits = block <= red_radius
+            for row in range(block.shape[0]):
+                cols = np.flatnonzero(hits[row])
+                dists = (
+                    np.asarray(
+                        metric.expand_reduced(block[row, cols]), dtype=np.float64
+                    )
+                    if with_distances
+                    else None
+                )
+                out.append((self.stored[cols], dists))
+        self.n_range_queries += len(out)
+        self.n_candidates += len(out) * self.n_stored
+        return out
+
     def knn(self, query: int, k: int) -> QueryResult:
         dataset = self._require_built()
         k = check_k(k)
         metric = dataset.metric
-        targets = None if self._all else self.stored
+        targets = self._targets()
         row = np.asarray(
             dataset.cross([int(query)], targets, reduced=True)[0], dtype=np.float64
         )

@@ -28,12 +28,23 @@ class CoverTreeIndex(NeighborIndex):
     """Neighbor index over a cover tree; works for any metric."""
 
     name = "covertree"
+    supports_insert = True
 
     def _build(self) -> None:
         # Insertion in ascending index order keeps construction
-        # deterministic for a given stored set.
-        self.tree = CoverTree(self.dataset, indices=self.stored)
+        # deterministic for a given stored set.  Large vector-metric
+        # builds take the level-batched bulk construction (one
+        # ``Metric.cross`` call per sibling pick instead of per-node
+        # Python candidate juggling); queries are exact either way.
+        self.tree = CoverTree(self.dataset, indices=self.stored, bulk=None)
         self.n_build_evals = self.tree.n_distance_evals
+
+    def _insert(self, new: np.ndarray) -> None:
+        before = self.tree.n_distance_evals
+        for idx in new:
+            self.tree.insert(int(idx))
+        # Insert evaluations are construction cost, not query cost.
+        self.n_build_evals += self.tree.n_distance_evals - before
 
     def counters(self) -> dict:
         """Query counters plus the construction cost — the tree's
@@ -68,6 +79,20 @@ class CoverTreeIndex(NeighborIndex):
         self, queries: IndexArray, radius: float, with_distances: bool = True
     ) -> List[QueryResult]:
         return [self.range_query(int(q), radius) for q in np.asarray(queries)]
+
+    def range_query_points(
+        self, payloads, radius: float, with_distances: bool = True
+    ) -> List[QueryResult]:
+        # The tree queries by payload natively.
+        self._require_built()
+        radius = check_radius(radius)
+        out: List[QueryResult] = []
+        for payload in payloads:
+            before = self.tree.n_distance_evals
+            hits = self.tree.range_query(payload, radius)
+            self.n_range_queries += 1
+            out.append(self._finish(hits, before))
+        return out
 
     def knn(self, query: int, k: int) -> QueryResult:
         dataset = self._require_built()

@@ -150,6 +150,7 @@ class GridIndex(NeighborIndex):
     """
 
     name = "grid"
+    supports_insert = True
 
     def __init__(
         self, cell_width: Optional[float] = None, max_grid_dims: int = 3
@@ -169,6 +170,12 @@ class GridIndex(NeighborIndex):
 
     # ------------------------------------------------------------------
 
+    #: Below this stored-set size the projection variance is estimated
+    #: from a dataset sample instead — an index built over one or two
+    #: points (the incremental Gonzalez/streaming case) has no variance
+    #: signal of its own, and the lattice dims are fixed at build time.
+    VARIANCE_SAMPLE_MIN = 32
+
     def _build(self) -> None:
         dataset = self.dataset
         if not dataset.metric.is_vector_metric:
@@ -177,7 +184,20 @@ class GridIndex(NeighborIndex):
         coords = self._view.coords(dataset.gather(self.stored))
         # Project onto the highest-variance dimensions: the most
         # discriminative cheap sketch of the data.
-        variances = coords.var(axis=0)
+        var_coords = coords
+        if len(self.stored) < self.VARIANCE_SAMPLE_MIN:
+            sample = np.unique(
+                np.linspace(
+                    0, dataset.n - 1, min(dataset.n, 1024)
+                ).astype(np.intp)
+            )
+            try:
+                var_coords = self._view.coords(dataset.gather(sample))
+            except ValueError:
+                # e.g. a zero vector in the sample under the angular
+                # view; the stored points' own (weak) signal stands.
+                var_coords = coords
+        variances = var_coords.var(axis=0)
         g = min(coords.shape[1], self.max_grid_dims)
         self._dims = np.sort(np.argsort(variances)[::-1][:g])
         proj = coords[:, self._dims]
@@ -189,10 +209,58 @@ class GridIndex(NeighborIndex):
         # array + group list (vectorized occupied-cell scans when a
         # query radius spans many cell widths).
         self._cell_keys, self._cell_groups = _group_rows(cells)
-        self._cells: Dict[Tuple[int, ...], np.ndarray] = {
-            tuple(int(c) for c in key): group
-            for key, group in zip(self._cell_keys, self._cell_groups)
-        }
+        self._cells: Dict[Tuple[int, ...], np.ndarray] = {}
+        self._cell_pos: Dict[Tuple[int, ...], int] = {}
+        for u, (key, group) in enumerate(zip(self._cell_keys, self._cell_groups)):
+            tkey = tuple(int(c) for c in key)
+            self._cells[tkey] = group
+            self._cell_pos[tkey] = u
+        # build() sorts the stored ids, so positions order == id order
+        # until an insert appends out of order.
+        self._ids_monotonic = True
+
+    def _insert(self, new: np.ndarray) -> None:
+        """Bin the new points into cells — amortized O(1) per point.
+
+        The lattice (projection dims, origin, width) is fixed at build
+        time; inserted points may fall outside the original bounding
+        box (integer cell coordinates extend in every direction), so
+        no rebuild is ever needed for correctness.
+        """
+        positions = np.arange(self.n_stored - len(new), self.n_stored)
+        if self._ids_monotonic:
+            prior_max = (
+                self.stored[positions[0] - 1] if positions[0] > 0 else -1
+            )
+            ordered = np.all(np.diff(self.stored[positions]) > 0)
+            self._ids_monotonic = bool(ordered and self.stored[positions[0]] > prior_max)
+        coords = self._view.coords(self.dataset.gather(self.stored[positions]))
+        proj = coords[:, self._dims]
+        cells = np.floor((proj - self._origin) / self._width).astype(np.int64)
+        uniq, groups = _group_rows(cells)
+        fresh_keys = []
+        fresh_groups = []
+        for key, group in zip(uniq, groups):
+            tkey = tuple(int(c) for c in key)
+            members = positions[group]
+            u = self._cell_pos.get(tkey)
+            if u is None:
+                fresh_keys.append(key)
+                fresh_groups.append(members)
+            else:
+                merged = np.concatenate([self._cell_groups[u], members])
+                self._cell_groups[u] = merged
+                self._cells[tkey] = merged
+        if fresh_keys:
+            base = len(self._cell_groups)
+            self._cell_keys = np.concatenate(
+                [self._cell_keys, np.asarray(fresh_keys, dtype=np.int64)]
+            )
+            self._cell_groups.extend(fresh_groups)
+            for off, (key, members) in enumerate(zip(fresh_keys, fresh_groups)):
+                tkey = tuple(int(c) for c in key)
+                self._cells[tkey] = members
+                self._cell_pos[tkey] = base + off
 
     def _pick_width(self, proj: np.ndarray) -> float:
         if self.cell_width is not None:
@@ -261,22 +329,37 @@ class GridIndex(NeighborIndex):
                     chunks.append(hit)
         if not chunks:
             return np.empty(0, dtype=np.intp)
-        return np.sort(np.concatenate(chunks))
+        pos = np.concatenate(chunks)
+        if self._ids_monotonic:
+            # Position order == global-id order: a plain sort suffices.
+            return np.sort(pos)
+        # Inserted points broke the monotone position→id map; order by
+        # the global ids themselves so results stay ascending.
+        return pos[np.argsort(self.stored[pos], kind="stable")]
 
-    def range_query_batch(
-        self, queries: IndexArray, radius: float, with_distances: bool = True
+    def _range_impl(
+        self,
+        qcells: np.ndarray,
+        eval_rows,
+        radius: float,
+        with_distances: bool,
     ) -> List[QueryResult]:
-        dataset = self._require_built()
-        radius = check_radius(radius)
+        """Shared cell-grouped range-query loop.
+
+        ``eval_rows(sub, cand) -> reduced block`` evaluates the query
+        rows at positions ``sub`` (into the original query sequence)
+        against the gathered candidate ids ``cand``; the two public
+        entry points differ only in how query coordinates and exact
+        filters are obtained (dataset indices vs raw payloads).
+        """
+        dataset = self.dataset
         metric = dataset.metric
         red_radius = metric.reduce_threshold(radius)
-        queries = np.asarray(queries, dtype=np.intp)
-        qproj = self._view.coords(dataset.gather(queries))[:, self._dims]
-        qcells = np.floor((qproj - self._origin) / self._width).astype(np.int64)
         view_r = self._view.view_radius(radius)
         offsets = self._cell_offsets(view_r)
+        n_queries = len(qcells)
 
-        out: List[Optional[QueryResult]] = [None] * len(queries)
+        out: List[Optional[QueryResult]] = [None] * n_queries
         empty = (np.empty(0, dtype=np.intp), np.empty(0, dtype=np.float64))
         # Queries sharing a cell share the same candidate set: group
         # them so the exact filter runs one block per occupied cell.
@@ -296,7 +379,7 @@ class GridIndex(NeighborIndex):
             step = rows_per_block(len(cand))
             for lo in range(0, len(group), step):
                 sub = group[lo : lo + step]
-                block = dataset.cross(queries[sub], cand, reduced=True)
+                block = eval_rows(sub, cand)
                 self.n_candidates += block.size
                 hits = block <= red_radius
                 for row, q in enumerate(sub):
@@ -310,8 +393,43 @@ class GridIndex(NeighborIndex):
                         else None
                     )
                     out[q] = (cand[cols], dists)
-        self.n_range_queries += len(queries)
+        self.n_range_queries += n_queries
         return out
+
+    def range_query_batch(
+        self, queries: IndexArray, radius: float, with_distances: bool = True
+    ) -> List[QueryResult]:
+        dataset = self._require_built()
+        radius = check_radius(radius)
+        queries = np.asarray(queries, dtype=np.intp)
+        qproj = self._view.coords(dataset.gather(queries))[:, self._dims]
+        qcells = np.floor((qproj - self._origin) / self._width).astype(np.int64)
+
+        def eval_rows(sub, cand):
+            return dataset.cross(queries[sub], cand, reduced=True)
+
+        return self._range_impl(qcells, eval_rows, radius, with_distances)
+
+    def range_query_points(
+        self, payloads, radius: float, with_distances: bool = True
+    ) -> List[QueryResult]:
+        dataset = self._require_built()
+        radius = check_radius(radius)
+        metric = dataset.metric
+        qproj = self._view.coords(np.asarray(payloads, dtype=np.float64))[
+            :, self._dims
+        ]
+        qcells = np.floor((qproj - self._origin) / self._width).astype(np.int64)
+
+        def eval_rows(sub, cand):
+            block = metric.reduced_cross(
+                [payloads[int(i)] for i in sub], dataset.gather(cand)
+            )
+            dataset.n_cross_blocks += 1
+            dataset.n_cross_evals += block.size
+            return block
+
+        return self._range_impl(qcells, eval_rows, radius, with_distances)
 
     def knn(self, query: int, k: int) -> QueryResult:
         dataset = self._require_built()
@@ -331,19 +449,39 @@ class GridIndex(NeighborIndex):
             if self.radius_hint
             else self._width
         )
+        # Ring-delta cache: each doubling only gathers and evaluates
+        # the *newly* reached cells; candidates from earlier rings keep
+        # their already-computed reduced distances, so a far-from-mass
+        # query costs O(distinct candidates) total instead of
+        # O(rings · candidates).
+        seen = np.zeros(self.n_stored, dtype=bool)
+        pos_parts: List[np.ndarray] = []
+        red_parts: List[np.ndarray] = []
+        n_eval = 0
         while True:
             offsets = self._cell_offsets(reach_r)
-            cand_pos = self._gather(qcell, offsets, reach_r)
-            if cand_pos.size >= k:
-                cand = self.stored[cand_pos]
-                row = dataset.cross([int(query)], cand, reduced=True)[0]
-                self.n_candidates += len(cand)
-                dists = np.asarray(metric.expand_reduced(row), dtype=np.float64)
+            gathered = self._gather(qcell, offsets, reach_r)
+            fresh = gathered[~seen[gathered]]
+            if fresh.size:
+                seen[fresh] = True
+                row = dataset.cross(
+                    [int(query)], self.stored[fresh], reduced=True
+                )[0]
+                self.n_candidates += fresh.size
+                pos_parts.append(fresh)
+                red_parts.append(np.asarray(row, dtype=np.float64))
+                n_eval += fresh.size
+            if n_eval >= k:
+                cand = self.stored[np.concatenate(pos_parts)]
+                dists = np.asarray(
+                    metric.expand_reduced(np.concatenate(red_parts)),
+                    dtype=np.float64,
+                )
                 sel = np.lexsort((cand, dists))[:k]
                 # Every ungathered point (box-excluded or cell-pruned)
                 # sits at view distance strictly above reach_r.
                 certified = (
-                    cand_pos.size == self.n_stored
+                    n_eval == self.n_stored
                     or float(dists[sel[-1]]) <= self._view.expand_view(reach_r)
                 )
                 if certified:

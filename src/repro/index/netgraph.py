@@ -2,15 +2,14 @@
 
 The exact and approximate solvers both need, per center ``e_j``, the
 set of centers within a threshold (the paper's neighbor ball-center
-sets ``A_p`` of Eq. (1) / Eq. (13)).  PR 1 answered this by
-thresholding the dense ``(|E|, |E|)`` center-distance matrix harvested
-by Algorithm 1 — free in distance evaluations, but quadratic in
-``|E|``, which explodes as ``(Δ/r̄)^D`` in high dimensions.
-
-:func:`net_neighbor_sets` keeps the dense path for the brute backend
-(where it is exactly equivalent and strictly cheaper) and otherwise
-answers the merge graph with sparse range queries through a
-:class:`~repro.index.base.NeighborIndex` built over the centers.
+sets ``A_p`` of Eq. (1) / Eq. (13)).  Algorithm 1 now maintains an
+incremental :class:`~repro.index.base.NeighborIndex` over its center
+set as it runs, so :func:`net_neighbor_sets` answers the merge graph
+by **reusing that very index** whenever the caller's spec resolves to
+the same backend — no second build, no dense ``|E|²`` matrix anywhere.
+Nets assembled without an index (the cover-tree extraction path) keep
+the free dense-threshold scan when they already carry the matrix;
+otherwise a fresh backend is built over the centers.
 """
 
 from __future__ import annotations
@@ -35,8 +34,12 @@ def center_neighbor_sets(
     ``GonzalezNet.neighbor_centers``.
     """
     centers = np.asarray(net.centers, dtype=np.intp)
-    position_of = np.full(net.dataset.n, -1, dtype=np.int64)
-    position_of[centers] = np.arange(len(centers))
+    positions_of = getattr(net, "positions_of", None)
+    if positions_of is not None:
+        position_of = positions_of()  # cached on GonzalezNet
+    else:
+        position_of = np.full(net.dataset.n, -1, dtype=np.int64)
+        position_of[centers] = np.arange(len(centers))
     results = index.range_query_batch(centers, threshold, with_distances=False)
     # Global ids map to center positions in insertion (not id) order,
     # so re-sort per row to match the dense np.nonzero scan order.
@@ -51,31 +54,49 @@ def net_neighbor_sets(
 ) -> List[np.ndarray]:
     """Merge-graph neighbor sets through the configured index backend.
 
-    When ``spec`` resolves to ``brute`` the harvested dense
-    center-distance matrix answers the query with zero extra distance
-    evaluations (this *is* the brute-force answer, already paid for);
-    any other backend is built over the centers with the threshold as
-    its radius hint and queried sparsely.  Index counters flow into
-    ``timings`` either way so ``TimingBreakdown.counters`` stays
-    comparable across backends.
+    Resolution order: an explicit :class:`NeighborIndex` instance spec
+    is built over the centers as requested; a ``None``/``"auto"`` spec
+    reuses whatever incremental index the net carries (building
+    *anything* would be a second build the carried index makes
+    redundant); an explicit backend name reuses the carried index only
+    when it matches, and otherwise builds as requested; nets holding a
+    materialized dense matrix (cover-tree extraction) answer ``brute``
+    by thresholding it for free.  Index counter *deltas* flow into
+    ``timings`` so ``TimingBreakdown.counters`` stays comparable
+    across backends and phases.
     """
     dataset = net.dataset
     m = net.n_centers
-    name = resolve_index_name(spec, dataset, m)
-    if name == "brute":
-        neighbors = net.neighbor_centers(threshold)
-        if timings is not None:
-            timings.count("n_range_queries", m)
-            timings.count("n_candidates", m * m)
-        return neighbors
-    index = build_index(
-        spec if not (spec is None or isinstance(spec, str)) else name,
-        dataset,
-        indices=net.centers,
-        radius_hint=threshold,
-    )
+    net_index = getattr(net, "index", None)
+    if isinstance(spec, NeighborIndex):
+        index: Optional[NeighborIndex] = build_index(
+            spec, dataset, indices=net.centers, radius_hint=threshold
+        )
+    else:
+        name = resolve_index_name(spec, dataset, m)
+        deferred = spec is None or (
+            isinstance(spec, str) and spec.strip().lower() == "auto"
+        )
+        if net_index is not None and (deferred or net_index.name == name):
+            index = net_index
+        elif name == "brute" and getattr(net, "has_dense_center_matrix", False):
+            # The matrix is already in hand: thresholding it *is* the
+            # brute-force answer, with zero extra evaluations.
+            neighbors = net.neighbor_centers(threshold)
+            if timings is not None:
+                timings.count("n_range_queries", m)
+                timings.count("n_candidates", m * m)
+            return neighbors
+        else:
+            index = build_index(
+                spec if not (spec is None or isinstance(spec, str)) else name,
+                dataset,
+                indices=net.centers,
+                radius_hint=threshold,
+            )
+    before = index.counters()
     neighbors = center_neighbor_sets(net, threshold, index)
     if timings is not None:
         for counter, value in index.counters().items():
-            timings.count(counter, value)
+            timings.count(counter, value - before.get(counter, 0))
     return neighbors

@@ -23,7 +23,9 @@ from __future__ import annotations
 import os
 from typing import Dict, Optional, Type, Union
 
-from repro.index.base import NeighborIndex
+import numpy as np
+
+from repro.index.base import DynamicIndexWrapper, NeighborIndex
 from repro.index.brute import BruteForceIndex
 from repro.index.covertree import CoverTreeIndex
 from repro.index.grid import GridIndex
@@ -34,6 +36,16 @@ DEFAULT_INDEX_ENV = "REPRO_DEFAULT_INDEX"
 
 #: ``auto`` uses brute force at or below this stored-set size.
 AUTO_BRUTE_MAX = 2048
+
+#: Auto-policy grid probe: number of sampled range queries.
+GRID_PROBE_QUERIES = 8
+
+#: Auto-policy grid probe: if the sampled queries touch more than this
+#: fraction of the stored set as exact-filter candidates, the ≤3-dim
+#: projection is not discriminating (isotropic high-dimensional data)
+#: and ``auto`` falls back to the brute backend, whose one blocked scan
+#: beats a grid that gathers nearly everything anyway.
+GRID_PROBE_MAX_RATIO = 0.5
 
 IndexSpec = Union[None, str, NeighborIndex, Type[NeighborIndex]]
 
@@ -111,6 +123,38 @@ def resolve_index_name(
     return name
 
 
+def _auto_resolved(spec: IndexSpec) -> bool:
+    """Whether ``spec`` leaves the backend choice to the ``auto``
+    policy (rather than the user or the environment forcing one)."""
+    if isinstance(spec, str):
+        return spec.strip().lower() == "auto"
+    return spec is None and default_index_name() == "auto"
+
+
+def _probe_grid_degenerate(index: NeighborIndex) -> bool:
+    """Sample a handful of range queries on a freshly built grid and
+    report whether its candidate pruning is degenerate.
+
+    Isotropic high-dimensional data concentrates no variance in the
+    ≤3-dim projection, so every cell neighborhood gathers a constant
+    fraction of the stored set and the grid pays hashing overhead for
+    brute-force candidate counts.  The probe costs
+    ``GRID_PROBE_QUERIES`` range queries at the build's radius hint and
+    leaves the instrumentation counters as a fresh build would.
+    """
+    if index.radius_hint is None or index.radius_hint <= 0:
+        return False
+    n_stored = index.n_stored
+    sample = index.stored[
+        np.linspace(0, n_stored - 1, GRID_PROBE_QUERIES).astype(np.intp)
+    ]
+    sample = np.unique(sample)
+    index.range_query_batch(sample, index.radius_hint, with_distances=False)
+    ratio = index.n_candidates / max(1, len(sample) * n_stored)
+    index.reset_counters()
+    return ratio > GRID_PROBE_MAX_RATIO
+
+
 def build_index(
     spec: IndexSpec,
     dataset: MetricDataset,
@@ -123,6 +167,11 @@ def build_index(
     default), an unbuilt :class:`NeighborIndex` instance (built in
     place — lets callers pass pre-configured backends), or a backend
     class.
+
+    When the ``auto`` policy (not an explicit user/env choice) picks
+    the grid, a few sampled range queries validate that the projected
+    lattice actually prunes; degenerate grids (isotropic
+    high-dimensional data) fall back to the brute backend.
     """
     if isinstance(spec, NeighborIndex):
         return spec.build(dataset, indices=indices, radius_hint=radius_hint)
@@ -136,4 +185,84 @@ def build_index(
             f"grid index cannot serve metric {type(dataset.metric).__name__}; "
             "use covertree or brute"
         )
-    return cls().build(dataset, indices=indices, radius_hint=radius_hint)
+    index = cls().build(dataset, indices=indices, radius_hint=radius_hint)
+    if (
+        cls is GridIndex
+        and _auto_resolved(spec)
+        and n_stored > AUTO_BRUTE_MAX
+        and _probe_grid_degenerate(index)
+    ):
+        index = BruteForceIndex().build(
+            dataset, indices=indices, radius_hint=radius_hint
+        )
+    return index
+
+
+def resolve_grown_index_name(
+    spec: IndexSpec,
+    dataset: MetricDataset,
+    n_expected: int,
+    radius_hint: Optional[float] = None,
+) -> str:
+    """Resolve a name/auto spec for an index that starts near-empty and
+    grows toward ``n_expected`` stored points (the incremental Gonzalez
+    center index).
+
+    The ``auto`` policy resolves at ``n_expected`` — resolving at the
+    initial stored size would lock in brute forever — and an
+    auto-picked grid is probe-validated on a *dataset sample* (the
+    grown index itself is too small to probe at build time): degenerate
+    projections fall back to brute exactly as :func:`build_index` does
+    for static builds.
+    """
+    name = resolve_index_name(spec, dataset, n_expected)
+    if (
+        name == "grid"
+        and _auto_resolved(spec)
+        and n_expected > AUTO_BRUTE_MAX
+        and radius_hint is not None
+        and radius_hint > 0
+        and dataset.n > AUTO_BRUTE_MAX
+    ):
+        sample = np.unique(
+            np.linspace(0, dataset.n - 1, min(dataset.n, 4096)).astype(np.intp)
+        )
+        probe = GridIndex().build(
+            dataset, indices=sample, radius_hint=radius_hint
+        )
+        if _probe_grid_degenerate(probe):
+            name = "brute"
+    return name
+
+
+def build_dynamic_index(
+    spec: IndexSpec,
+    dataset: MetricDataset,
+    indices: Optional[IndexArray] = None,
+    radius_hint: Optional[float] = None,
+) -> NeighborIndex:
+    """Like :func:`build_index`, but the result is guaranteed to accept
+    :meth:`~repro.index.base.NeighborIndex.insert_batch`.
+
+    The built-in backends all insert natively; a registered backend
+    without insert support is wrapped in
+    :class:`~repro.index.base.DynamicIndexWrapper` (buffer inserts,
+    rebuild lazily before the next query).  Callers that grow an index
+    incrementally — the Gonzalez round loop, the streaming summary —
+    go through here.
+    """
+    if isinstance(spec, NeighborIndex):
+        instance: Optional[NeighborIndex] = spec
+    elif isinstance(spec, type) and issubclass(spec, NeighborIndex):
+        instance = spec()
+    else:
+        # Name/auto specs: the registered built-ins all insert natively,
+        # so delegate (keeping the auto-grid probe) and wrap only the
+        # exotic case of a registered backend without insert support.
+        name = resolve_index_name(spec, dataset, dataset.n if indices is None else len(indices))
+        if INDEX_REGISTRY[name].supports_insert:
+            return build_index(spec, dataset, indices=indices, radius_hint=radius_hint)
+        instance = INDEX_REGISTRY[name]()
+    if not instance.supports_insert:
+        instance = DynamicIndexWrapper(instance)
+    return instance.build(dataset, indices=indices, radius_hint=radius_hint)

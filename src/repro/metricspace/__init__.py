@@ -22,7 +22,9 @@ from repro.metricspace.cosine import CosineMetric
 from repro.metricspace.counting import CountingMetric
 from repro.metricspace.dataset import (
     DEFAULT_BLOCK_BYTES,
+    GrowingMetricDataset,
     MetricDataset,
+    PayloadStore,
     rows_per_block,
 )
 from repro.metricspace.editdistance import (
@@ -52,6 +54,8 @@ __all__ = [
     "JaccardMetric",
     "CountingMetric",
     "MetricDataset",
+    "GrowingMetricDataset",
+    "PayloadStore",
     "DEFAULT_BLOCK_BYTES",
     "rows_per_block",
 ]

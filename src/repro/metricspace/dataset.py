@@ -315,3 +315,114 @@ class MetricDataset:
 
     def __repr__(self) -> str:
         return f"MetricDataset(n={self._n}, metric={type(self.metric).__name__})"
+
+
+class PayloadStore:
+    """Append-only payload buffer with a cheap batch-distance view.
+
+    Vector payloads live in a doubling numpy buffer so the metric's
+    vectorized batch path applies; other payloads live in a list.
+    The streaming solvers keep their center/watch/summary sets in
+    these (formerly ``repro.core.streaming._PayloadStore``).
+    """
+
+    def __init__(self, metric: Metric) -> None:
+        self._metric = metric
+        self._vector = metric.is_vector_metric
+        self._list: list = []
+        self._array: Optional[np.ndarray] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def append(self, payload: Any) -> int:
+        idx = self._size
+        if self._vector:
+            row = np.asarray(payload, dtype=np.float64).ravel()
+            if self._array is None:
+                self._array = np.empty((4, row.shape[0]), dtype=np.float64)
+            elif self._size == self._array.shape[0]:
+                grown = np.empty(
+                    (2 * self._array.shape[0], self._array.shape[1]),
+                    dtype=np.float64,
+                )
+                grown[: self._size] = self._array[: self._size]
+                self._array = grown
+            self._array[self._size] = row
+        else:
+            self._list.append(payload)
+        self._size += 1
+        return idx
+
+    def set(self, idx: int, payload: Any) -> None:
+        """Overwrite slot ``idx`` in place (the windowed solver
+        recycles expired center slots)."""
+        if self._vector:
+            self._array[idx] = np.asarray(payload, dtype=np.float64).ravel()
+        else:
+            self._list[idx] = payload
+
+    def view(self) -> Any:
+        """All stored payloads (array slice or list)."""
+        if self._vector:
+            if self._array is None:
+                return np.empty((0, 0), dtype=np.float64)
+            return self._array[: self._size]
+        return self._list
+
+    def get(self, idx: int) -> Any:
+        return self._array[idx] if self._vector else self._list[idx]
+
+    def distances_from(self, payload: Any) -> np.ndarray:
+        """Distances from ``payload`` to every stored payload."""
+        if self._size == 0:
+            return np.empty(0, dtype=np.float64)
+        return self._metric.distance_many(payload, self.view())
+
+
+class GrowingMetricDataset(MetricDataset):
+    """A :class:`MetricDataset` over an append-only payload store.
+
+    Points gain indices in arrival order and the set only grows (or
+    overwrites recycled slots) — exactly the shape of the streaming
+    solvers' center/watch/summary stores.  Because it *is* a
+    ``MetricDataset``, the :mod:`repro.index` backends build over it
+    directly, and the same dynamic-index machinery that serves
+    Algorithm 1 serves summaries that grow one arrival at a time:
+    ``idx = ds.append(payload)`` then ``index.insert(idx)``.
+    """
+
+    def __init__(self, metric: Optional[Metric] = None) -> None:
+        # Deliberately skips MetricDataset.__init__: the payload
+        # container and size are live views of the store, exposed via
+        # the _points/_n property overrides below (never assigned).
+        self.metric = metric if metric is not None else EuclideanMetric()
+        self._store = PayloadStore(self.metric)
+        self.n_cross_blocks = 0
+        self.n_cross_evals = 0
+        self._adaptive_block_bytes = DEFAULT_BLOCK_BYTES
+
+    @property
+    def _points(self) -> Any:
+        return self._store.view()
+
+    @property
+    def _n(self) -> int:
+        return len(self._store)
+
+    def append(self, payload: Any) -> int:
+        """Store a payload; returns its permanent index."""
+        return self._store.append(payload)
+
+    def set(self, idx: int, payload: Any) -> None:
+        """Overwrite a recycled slot in place."""
+        self._store.set(idx, payload)
+
+    # PayloadStore-compatible accessors so solver code reads the same
+    # whether it holds a bare store or an indexable dataset.
+    def view(self) -> Any:
+        return self._store.view()
+
+    def get(self, idx: int) -> Any:
+        return self._store.get(idx)

@@ -1,40 +1,127 @@
-"""Batched-engine speedup check (acceptance gate of the batching PR).
+"""Batched-engine + precision-cascade speedup check.
 
-Times the Euclidean radius-guided Gonzalez + approx-DBSCAN end-to-end
-path on a 20k-point synthetic dataset.  Run directly::
+Two measurements, written to ``BENCH_batch_speedup.json``:
 
-    PYTHONPATH=src python benchmarks/bench_batch_speedup.py [--n 20000]
+1. **End to end** — the Euclidean radius-guided Gonzalez +
+   approx-DBSCAN path, once under ``REPRO_PRECISION=float64`` and once
+   under the default certified cascade.  Reports wall time, distance
+   evaluations (``t_dis``), the cascade's rescue fraction, and whether
+   the two label vectors are bit-identical (they must be).
+2. **Cross-block microbench** — one decision-only
+   ``(queries × targets)`` threshold block through the float64 reduced
+   kernel vs the certified cascade.  This is the phase the cascade
+   accelerates; the acceptance gate is a ≥1.3× speedup on blobs with
+   ``dim >= 16`` at ``n = 20000``.
 
-The number printed by the seed (pre-batching) tree is the denominator
-for the speedup recorded in ``CHANGES.md``.
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_batch_speedup.py [--quick]
 """
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
+
+import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import ApproxMetricDBSCAN, MetricDataset
 from repro.datasets import make_blobs, make_moons
+from repro.metricspace import precision
+
+
+def _fit_leg(mode, pts, eps, min_pts, rho, repeats):
+    """Best-of-``repeats`` end-to-end run under a precision policy."""
+    precision.set_precision(mode)
+    try:
+        best = float("inf")
+        result = evals = None
+        for _ in range(repeats):
+            dataset = MetricDataset(pts)
+            precision.stats.reset()
+            start = time.perf_counter()
+            result = ApproxMetricDBSCAN(eps, min_pts, rho=rho).fit(dataset)
+            best = min(best, time.perf_counter() - start)
+            evals = dataset.n_cross_evals
+        return {
+            "wall_seconds": best,
+            "n_cross_evals": int(evals),
+            "n_clusters": int(result.n_clusters),
+            "n_noise": int(result.n_noise),
+            "cascade": precision.stats.as_dict(),
+        }, result.labels
+    finally:
+        precision.set_precision(None)
+
+
+def _cross_block_leg(pts, eps, n_queries, repeats):
+    """Decision-only threshold block: float64 reduced kernel vs the
+    certified cascade, best of ``repeats``."""
+    dataset = MetricDataset(pts)
+    metric = dataset.metric
+    queries = np.ascontiguousarray(pts[:n_queries])
+    targets = np.ascontiguousarray(pts)
+    red_eps = metric.reduce_threshold(eps)
+
+    t64 = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        mask64 = metric.reduced_cross(queries, targets) <= red_eps
+        t64 = min(t64, time.perf_counter() - start)
+
+    precision.set_precision("cascade")
+    try:
+        tc = float("inf")
+        for _ in range(repeats):
+            precision.stats.reset()
+            start = time.perf_counter()
+            maskc = metric.cross_certified(queries, targets, eps)
+            tc = min(tc, time.perf_counter() - start)
+        stats = precision.stats.as_dict()
+    finally:
+        precision.set_precision(None)
+    return {
+        "n_queries": int(queries.shape[0]),
+        "n_targets": int(targets.shape[0]),
+        "float64_wall_seconds": t64,
+        "certified_wall_seconds": tc,
+        "speedup": t64 / tc if tc > 0 else float("inf"),
+        "masks_equal": bool(np.array_equal(mask64, maskc)),
+        "cascade": stats,
+    }
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--dataset", choices=("blobs", "moons"), default="blobs")
     parser.add_argument("--n", type=int, default=20000)
+    parser.add_argument("--dim", type=int, default=16)
     parser.add_argument("--eps", type=float, default=None)
     parser.add_argument("--min-pts", type=int, default=10)
     parser.add_argument("--rho", type=float, default=0.5)
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: n=4000, one repeat, small microbench block",
+    )
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_batch_speedup.json",
+    )
     args = parser.parse_args(argv)
+    if args.quick:
+        args.n = min(args.n, 4000)
+        args.repeats = 1
 
     if args.dataset == "blobs":
         # The paper's data model: dense doubling-dimension inliers plus
         # z scattered outliers, each of which costs Algorithm 1 a center.
         pts, _ = make_blobs(
-            n=args.n, n_clusters=10, dim=2, std=0.05, spread=30.0,
+            n=args.n, n_clusters=10, dim=args.dim, std=0.05, spread=30.0,
             outlier_fraction=0.1, seed=7,
         )
         if args.eps is None:
@@ -45,23 +132,51 @@ def main(argv=None) -> int:
         )
         if args.eps is None:
             args.eps = 0.08
-    dataset = MetricDataset(pts)
-    best = float("inf")
-    result = None
-    for _ in range(args.repeats):
-        start = time.perf_counter()
-        result = ApproxMetricDBSCAN(
-            args.eps, args.min_pts, rho=args.rho
-        ).fit(dataset)
-        best = min(best, time.perf_counter() - start)
-    print(
-        f"{args.dataset} n={args.n} eps={args.eps} min_pts={args.min_pts} "
-        f"rho={args.rho}: "
-        f"best of {args.repeats} = {best:.3f}s, "
-        f"clusters={result.n_clusters}, noise={result.n_noise}"
+
+    f64, labels64 = _fit_leg(
+        "float64", pts, args.eps, args.min_pts, args.rho, args.repeats
     )
-    for name, seconds in sorted(result.timings.phases.items()):
-        print(f"  {name:>16s}: {seconds:.3f}s")
+    cas, labels_cas = _fit_leg(
+        "cascade", pts, args.eps, args.min_pts, args.rho, args.repeats
+    )
+    labels_equal = bool(np.array_equal(labels64, labels_cas))
+
+    n_queries = 512 if args.quick else 2048
+    cross = _cross_block_leg(
+        pts, args.eps, min(n_queries, len(pts)), max(args.repeats, 2)
+    )
+
+    report = {
+        "config": {
+            "dataset": args.dataset, "n": args.n, "dim": pts.shape[1],
+            "eps": args.eps, "min_pts": args.min_pts, "rho": args.rho,
+            "repeats": args.repeats, "quick": args.quick,
+        },
+        "end_to_end": {
+            "float64": f64, "cascade": cas, "labels_equal": labels_equal,
+        },
+        "cross_block": cross,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"{args.dataset} n={args.n} dim={pts.shape[1]} eps={args.eps}: "
+        f"end-to-end float64 {f64['wall_seconds']:.3f}s "
+        f"vs cascade {cas['wall_seconds']:.3f}s "
+        f"(rescue {cas['cascade']['rescue_fraction']:.4f}, "
+        f"labels_equal={labels_equal})"
+    )
+    print(
+        f"cross-block {cross['n_queries']}x{cross['n_targets']}: "
+        f"float64 {cross['float64_wall_seconds'] * 1e3:.1f}ms "
+        f"vs certified {cross['certified_wall_seconds'] * 1e3:.1f}ms "
+        f"= {cross['speedup']:.2f}x "
+        f"(rescue {cross['cascade']['rescue_fraction']:.4f})"
+    )
+    print(f"wrote {args.out}")
+    if not labels_equal or not cross["masks_equal"]:
+        print("ERROR: cascade and float64 disagree", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -247,9 +247,7 @@ class ApproxMetricDBSCAN:
         points of its enlarged neighbor set) instead of one batch call
         per summary point.
         """
-        red_threshold = dataset.metric.reduce_threshold(
-            (1.0 + self.rho) * self.eps
-        )
+        threshold = (1.0 + self.rho) * self.eps
         uf = UnionFind(summary.size)
         members = summary.members
         groups = _FlatGroups.from_lists(summary.members_by_center)
@@ -266,8 +264,10 @@ class ApproxMetricDBSCAN:
         pair_slice = pairs_per_slice(dataset)
         for lo in range(0, rows.size, pair_slice):
             sl = slice(lo, lo + pair_slice)
-            d = dataset.pair(members[rows[sl]], members[cols[sl]], reduced=True)
-            edge = d <= red_threshold
+            # Merge edges need only the ``<= (1+ρ)ε`` verdict.
+            edge = dataset.pair_certified(
+                members[rows[sl]], members[cols[sl]], threshold
+            )
             for si, t in zip(rows[sl][edge], cols[sl][edge]):
                 uf.union(int(si), int(t))
         labels_map = uf.component_labels(range(summary.size))

@@ -219,7 +219,6 @@ class MetricDBSCAN:
         set) instead of one batch call per point.
         """
         n = dataset.n
-        red_eps = dataset.metric.reduce_threshold(self.eps)
         core_mask = np.zeros(n, dtype=bool)
         sizes = np.array([len(c) for c in cover], dtype=np.int64)
         if self.dense_shortcut:
@@ -233,8 +232,11 @@ class MetricDBSCAN:
             if len(members) == 0:
                 continue
             candidates = np.concatenate([cover[k] for k in neighbors[j]])
-            block = dataset.cross(members, candidates, reduced=True)
-            counts = np.count_nonzero(block <= red_eps, axis=1)
+            # Threshold-only count: the certified mixed-precision
+            # cascade decides ``<= eps`` without materializing float64
+            # distances (uncertain pairs are rescued exactly).
+            mask = dataset.cross_certified(members, candidates, self.eps)
+            counts = np.count_nonzero(mask, axis=1)
             core_mask[members[counts >= self.min_pts]] = True
         return core_mask
 
@@ -312,11 +314,10 @@ class MetricDBSCAN:
                 if dist <= eps:
                     return True
             return False
-        # Brute-force BCP (ablation path): blocked kernel, early exit
-        # after each block.
-        red_eps = dataset.metric.reduce_threshold(eps)
-        for _, block in dataset.cross_blocks(a, b, reduced=True):
-            if bool(np.any(block <= red_eps)):
+        # Brute-force BCP (ablation path): blocked certified decision
+        # masks, early exit after each block.
+        for _, mask in dataset.cross_blocks(a, b, certified_threshold=eps):
+            if bool(np.any(mask)):
                 return True
         return False
 

@@ -51,9 +51,12 @@ matrix as a by-product — quadratic memory that ROADMAP.md flagged as
 center set instead (``insert_batch`` after every round), and every
 center-center question becomes a range query against it:
 
-- the round flush's Feder–Greene pair pruning queries the pending
-  centers against the pre-flush centers at radius ``2·max group
-  distance``;
+- the round flush's Feder–Greene pair pruning queries each pre-flush
+  center that still owns active points at its *own* radius ``2·(max
+  distance in its group)`` against a throwaway index over just that
+  round's pending centers — per-query radii, so one wide outlier
+  group cannot inflate every other group's query, and every harvested
+  pair is a certified (old center, new center) steal candidate;
 - the final nearest-center refinement queries all centers at ``2r̄``;
 - the harvested ε-ball counts query at ``ε + max group radius``;
 - the exact/approx merge graphs
@@ -84,6 +87,7 @@ from repro.index.base import NeighborIndex
 from repro.index.registry import (
     IndexSpec,
     build_dynamic_index,
+    build_index,
     resolve_grown_index_name,
 )
 from repro.metricspace.dataset import MetricDataset, pairs_per_slice
@@ -484,6 +488,15 @@ def radius_guided_gonzalez(
     center_index = build_dynamic_index(
         index_spec, dataset, indices=[first_index], radius_hint=hint
     )
+    # The round flush probes each round's pending centers through a
+    # throwaway index over *only those centers* (at most one round's
+    # worth of points).  Reuse the resolved backend family, but never
+    # the center_index instance itself — building an instance spec
+    # twice would rebuild it in place.
+    flush_spec: IndexSpec = (
+        type(index_spec) if isinstance(index_spec, NeighborIndex) else index_spec
+    )
+    flush_counters: Dict[str, int] = {}
     net_counters: Dict[str, int] = {"peak_center_matrix_bytes": 0}
 
     def track_pairs(n_pairs: int, bytes_per_pair: int = 24) -> None:
@@ -508,30 +521,45 @@ def radius_guided_gonzalez(
         group_max = np.zeros(base, dtype=np.float64)
         np.maximum.at(group_max, act_assign, true_dist[active])
         # (new center, old center) pairs that can possibly steal points:
-        # one range query per pending center against the pre-flush index
-        # (the pending centers are not inserted yet), at the global
-        # bound 2·max(group_max), then tightened per pair to the
-        # receiving group's own bound.  Stale true distances are upper
-        # bounds, so the pruning is a superset of the exact one.
-        gmax = float(group_max.max())
+        # a pending center c can take a point p from old group e only if
+        # d(p, c) < d(p, e) <= g_e, hence d(c, e) < 2·g_e by the
+        # triangle inequality — a *per-group* bound.  Each old center
+        # with active points queries a throwaway index over just this
+        # round's pending centers at its own radius 2·g_e, so every
+        # harvested hit is a certified steal pair.  An earlier revision
+        # queried the pending side against the full center index at the
+        # *global* bound 2·max(g_e) — one distant outlier group
+        # inflated every query to the widest group's radius and dragged
+        # in center-center pairs no group could use.  Stale true
+        # distances are upper bounds, so the pruning is a superset of
+        # the exact one either way.
+        qpos = np.flatnonzero(group_max > 0.0)
         es = np.empty(0, dtype=np.int64)
         js_new = np.empty(0, dtype=np.int64)
         d_ce = np.empty(0, dtype=np.float64)
-        if gmax > 0.0:
-            results = center_index.range_query_batch(
-                pending, 2.0 * gmax * _PRUNE_SLACK
+        if qpos.size:
+            radii = 2.0 * group_max[qpos] * _PRUNE_SLACK
+            pending_index = build_index(
+                flush_spec, dataset, indices=pending,
+                radius_hint=float(radii.max()),
             )
+            results = pending_index.range_query_batch(
+                np.asarray(centers[:base], dtype=np.intp)[qpos], radii
+            )
+            for counter, value in pending_index.counters().items():
+                flush_counters[counter] = (
+                    flush_counters.get(counter, 0) + int(value)
+                )
             sizes = [len(ids) for ids, _ in results]
             total = int(np.sum(sizes))
             if total:
                 track_pairs(total)
-                es = position_of[
-                    np.concatenate([ids for ids, _ in results])
-                ]
+                es = np.repeat(qpos, sizes)
+                js_new = (
+                    position_of[np.concatenate([ids for ids, _ in results])]
+                    - base
+                )
                 d_ce = np.concatenate([dists for _, dists in results])
-                js_new = np.repeat(np.arange(len(results)), sizes)
-                keep = d_ce < 2.0 * group_max[es] * _PRUNE_SLACK
-                es, js_new, d_ce = es[keep], js_new[keep], d_ce[keep]
         if es.size:
             # Sort only the actives whose group is actually reachable.
             affected = np.zeros(base, dtype=bool)
@@ -652,8 +680,8 @@ def radius_guided_gonzalez(
             )
         flush_pending()
         if round_centers:
-            # The flush queried the pending centers against the
-            # pre-round index; only now do they join it.
+            # The flush probed the pending centers through its own
+            # throwaway index; only now do they join the center index.
             center_index.insert_batch(
                 np.asarray(round_centers, dtype=np.intp)
             )
@@ -731,7 +759,10 @@ def radius_guided_gonzalez(
     # Construction instrumentation lives on the net; the index counters
     # restart from zero so downstream consumers (the merge graphs) see
     # clean per-phase deltas.
-    for counter, value in center_index.counters().items():
+    index_counters = dict(center_index.counters())
+    for counter, value in flush_counters.items():
+        index_counters[counter] = index_counters.get(counter, 0) + value
+    for counter, value in index_counters.items():
         key = {"n_range_queries": "net_range_queries",
                "n_candidates": "net_candidates",
                "n_build_evals": "net_build_evals"}.get(counter, counter)
@@ -774,14 +805,12 @@ def _pruned_ball_counts(
       of ``e_j`` (count the whole group without evaluating anything).
 
     The annulus pairs come from one range query per center against the
-    incremental center index at the global bound ``ε + max g_k``,
-    filtered per row to ``reach_at[k]`` — ``O(|E|·deg)`` pairs, never a
-    dense matrix.  Only groups in the annulus between the two bounds
-    are evaluated, with one aligned pair kernel over the COO pair list.
+    incremental center index at that center's own bound ``ε + g_k``
+    (per-query radii) — ``O(|E|·deg)`` pairs, never a dense matrix.
+    Only groups in the annulus between the two bounds are evaluated,
+    with the certified aligned pair kernel over the COO pair list.
     """
-    metric = dataset.metric
     m = len(centers_arr)
-    red_eps = metric.reduce_threshold(eps)
 
     order, boundaries = _group_boundaries(center_of, m)
     group_sizes = np.diff(boundaries)
@@ -794,16 +823,12 @@ def _pruned_ball_counts(
     reach_at = (eps + group_radius) * _PRUNE_SLACK
     whole_at = eps * (1.0 - 1e-12) - group_radius
     counts = np.zeros(m, dtype=np.int64)
-    results = center_index.range_query_batch(
-        centers_arr, float(reach_at.max())
-    )
+    results = center_index.range_query_batch(centers_arr, reach_at)
     sizes = [len(ids) for ids, _ in results]
     ks = np.repeat(np.arange(m), sizes)
     js = position_of[np.concatenate([ids for ids, _ in results])]
     d_kj = np.concatenate([dists for _, dists in results])
     track_pairs(ks.size)
-    in_reach = d_kj <= reach_at[ks]
-    ks, js, d_kj = ks[in_reach], js[in_reach], d_kj[in_reach]
     whole = d_kj <= whole_at[ks]
     np.add.at(counts, js[whole], group_sizes[ks[whole]])
     ks, js = ks[~whole], js[~whole]
@@ -811,8 +836,10 @@ def _pruned_ball_counts(
     pair_slice = pairs_per_slice(dataset)
     for lo in range(0, pair_point.size, pair_slice):
         sl = slice(lo, lo + pair_slice)
-        d = dataset.pair(pair_point[sl], centers_arr[pair_center[sl]], reduced=True)
+        within = dataset.pair_certified(
+            pair_point[sl], centers_arr[pair_center[sl]], eps
+        )
         counts += np.bincount(
-            pair_center[sl][d <= red_eps], minlength=m
+            pair_center[sl][within], minlength=m
         ).astype(np.int64)
     return counts

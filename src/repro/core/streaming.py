@@ -56,6 +56,7 @@ from repro.index.base import NeighborIndex
 from repro.index.registry import IndexSpec, build_dynamic_index, build_index
 from repro.metricspace.base import Metric
 from repro.metricspace.dataset import (
+    CERTIFIED_BYTES_PER_ENTRY,
     GrowingMetricDataset,
     MetricDataset,
     PayloadStore,
@@ -395,10 +396,10 @@ class StreamingApproxDBSCAN:
                     for chunk in _stream_chunks(
                         stream_factory(), lambda: rows_per_block(len(watch))
                     ):
-                        block = metric.reduced_cross(chunk, watch_view)
-                        exact_counts += np.count_nonzero(
-                            block <= red_eps, axis=0
-                        )
+                        # Pass-2 only counts ``<= eps`` hits, so the
+                        # certified cascade decides each chunk block.
+                        mask = metric.cross_certified(chunk, watch_view, eps)
+                        exact_counts += np.count_nonzero(mask, axis=0)
             watch_core = exact_counts >= min_pts
 
         with timings.phase("pass2_summary"):
@@ -565,14 +566,20 @@ class StreamingApproxDBSCAN:
         """
         metric = metric if metric is not None else self.metric
         size = len(summary)
-        red_threshold = metric.reduce_threshold((1.0 + self.rho) * self.eps)
         uf = UnionFind(size)
         if size > 1:
             payloads = summary.view()
-            block = metric.reduced_cross(payloads, payloads)
+            # Threshold-only merge: certified decision mask instead of
+            # a float64 distance matrix.
+            mask = metric.cross_certified(
+                payloads, payloads, (1.0 + self.rho) * self.eps
+            )
             if timings is not None:
-                timings.count("peak_center_matrix_bytes", 8 * size * size)
-            rows, cols = np.nonzero(block <= red_threshold)
+                timings.count(
+                    "peak_center_matrix_bytes",
+                    CERTIFIED_BYTES_PER_ENTRY * size * size,
+                )
+            rows, cols = np.nonzero(mask)
             upper = rows < cols
             for i, j in zip(rows[upper], cols[upper]):
                 uf.union(int(i), int(j))

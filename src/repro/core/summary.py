@@ -103,7 +103,6 @@ def build_summary(
     cover = net.cover_sets()
     counts = net.ball_count_for(eps)
     center_is_core = counts >= min_pts
-    red_eps = dataset.metric.reduce_threshold(eps)
 
     n = dataset.n
     known_core = np.zeros(n, dtype=bool)
@@ -124,11 +123,13 @@ def build_summary(
         sphere = sphere[sphere != net.centers[j]]
         if len(sphere) == 0:
             continue
-        # One many-to-many block per sparse sphere (|sphere| < MinPts
-        # rows, Lemma 8) instead of a per-point scan.
+        # One certified decision block per sparse sphere (|sphere| <
+        # MinPts rows, Lemma 8) instead of a per-point scan — the
+        # core test needs only ``<= eps`` verdicts, so it rides the
+        # mixed-precision cascade.
         candidates = np.concatenate([cover[k] for k in neighbors[j]])
-        block = dataset.cross(sphere, candidates, reduced=True)
-        core_rows = np.count_nonzero(block <= red_eps, axis=1) >= min_pts
+        mask = dataset.cross_certified(sphere, candidates, eps)
+        core_rows = np.count_nonzero(mask, axis=1) >= min_pts
         for p in sphere[core_rows]:
             known_core[p] = True
             members_by_center[j].append(len(members))

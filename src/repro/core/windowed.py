@@ -351,12 +351,12 @@ class WindowedApproxDBSCAN:
                     if j is not None and j > i:
                         uf.union(i, j)
         elif len(core) > 1:
-            # One many-to-many block over the core centers replaces the
-            # per-center sweep.
+            # One certified decision block over the core centers
+            # replaces the per-center sweep — the merge needs only the
+            # ``<= threshold`` verdicts.
             batch = self._slot_batch(core)
-            red_threshold = self.metric.reduce_threshold(threshold)
-            block = self.metric.reduced_cross(batch, batch)
-            rows, cols = np.nonzero(block <= red_threshold)
+            mask = self.metric.cross_certified(batch, batch, threshold)
+            rows, cols = np.nonzero(mask)
             upper = rows < cols
             for i, j in zip(rows[upper], cols[upper]):
                 uf.union(int(i), int(j))

@@ -247,11 +247,19 @@ class NeighborIndex(ABC):
         This is the hot entry point: backends batch the exact-filter
         distance evaluations over many queries at once.
 
+        ``radius`` may be a single float shared by every query or an
+        array of per-query radii aligned with ``queries`` (the Gonzalez
+        flush prunes each old center at its own group radius).
+
         ``with_distances=False`` lets consumers that only need the
         neighbor *sets* (adjacency precompute, core counting) skip the
         reduced→true expansion — a ``sqrt``/``arccos`` per hit that
         the dense reduced-threshold paths never paid; the second tuple
-        element is then ``None``.
+        element is then ``None``.  Scalar-radius queries in this mode
+        additionally route through the certified mixed-precision
+        cascade (:meth:`Metric.cross_certified`) where the backend
+        supports it — decisions only, never distances, so the float32
+        tier applies.
         """
 
     @abstractmethod
@@ -306,6 +314,28 @@ def check_radius(radius: float) -> float:
     if radius < 0 or not np.isfinite(radius):
         raise ValueError(f"query radius must be non-negative and finite, got {radius}")
     return radius
+
+
+def check_radii(radius, n_queries: int):
+    """Validate a radius argument that may be scalar or per-query.
+
+    Scalars pass through :func:`check_radius`.  Array-likes must align
+    with the query batch (one non-negative finite radius per query) and
+    come back as a float64 array.  Backends use the return type to pick
+    between the shared-threshold block scan (scalar) and the per-row
+    threshold scan (array).
+    """
+    if np.ndim(radius) == 0:
+        return check_radius(radius)
+    radii = np.asarray(radius, dtype=np.float64)
+    if radii.shape != (int(n_queries),):
+        raise ValueError(
+            f"per-query radii must align with the query batch: expected "
+            f"shape ({n_queries},), got {radii.shape}"
+        )
+    if radii.size and (not np.isfinite(radii).all() or radii.min() < 0):
+        raise ValueError("per-query radii must be non-negative and finite")
+    return radii
 
 
 def check_k(k: int) -> int:

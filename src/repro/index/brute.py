@@ -14,8 +14,17 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.index.base import NeighborIndex, QueryResult, check_k, check_radius
-from repro.metricspace.dataset import IndexArray, rows_per_block
+from repro.index.base import (
+    NeighborIndex,
+    QueryResult,
+    check_k,
+    check_radii,
+)
+from repro.metricspace.dataset import (
+    CERTIFIED_BYTES_PER_ENTRY,
+    IndexArray,
+    rows_per_block,
+)
 
 
 class BruteForceIndex(NeighborIndex):
@@ -42,59 +51,102 @@ class BruteForceIndex(NeighborIndex):
         # points since build/insert.
         return None if self._all and self.n_stored == self.dataset.n else self.stored
 
+    def _emit_rows(
+        self,
+        block: np.ndarray,
+        hits: np.ndarray,
+        metric,
+        with_distances: bool,
+        out: List[QueryResult],
+    ) -> None:
+        for row in range(block.shape[0]):
+            cols = np.flatnonzero(hits[row])
+            dists = (
+                np.asarray(
+                    metric.expand_reduced(block[row, cols]), dtype=np.float64
+                )
+                if with_distances
+                else None
+            )
+            out.append((self.stored[cols], dists))
+
+    def _reduced_radii(self, metric, radii: np.ndarray) -> np.ndarray:
+        return np.asarray(
+            [metric.reduce_threshold(float(r)) for r in radii], dtype=np.float64
+        )
+
     def range_query_batch(
-        self, queries: IndexArray, radius: float, with_distances: bool = True
+        self, queries: IndexArray, radius, with_distances: bool = True
     ) -> List[QueryResult]:
         dataset = self._require_built()
-        radius = check_radius(radius)
+        queries = np.asarray(queries, dtype=np.intp)
+        radius = check_radii(radius, len(queries))
         metric = dataset.metric
-        red_radius = metric.reduce_threshold(radius)
         targets = self._targets()
         out: List[QueryResult] = []
-        for _, block in dataset.cross_blocks(
-            queries=queries, targets=targets, reduced=True
-        ):
-            hits = block <= red_radius
-            for row in range(block.shape[0]):
-                cols = np.flatnonzero(hits[row])
-                dists = (
-                    np.asarray(
-                        metric.expand_reduced(block[row, cols]), dtype=np.float64
-                    )
-                    if with_distances
-                    else None
+        if isinstance(radius, np.ndarray):
+            red_radii = self._reduced_radii(metric, radius)
+            pos = 0
+            for _, block in dataset.cross_blocks(
+                queries=queries, targets=targets, reduced=True
+            ):
+                rows = block.shape[0]
+                hits = block <= red_radii[pos : pos + rows, None]
+                self._emit_rows(block, hits, metric, with_distances, out)
+                pos += rows
+        elif not with_distances:
+            # Decision-only scalar queries ride the certified
+            # mixed-precision cascade.
+            for _, mask in dataset.cross_blocks(
+                queries=queries, targets=targets, certified_threshold=radius
+            ):
+                for row in range(mask.shape[0]):
+                    out.append((self.stored[np.flatnonzero(mask[row])], None))
+        else:
+            red_radius = metric.reduce_threshold(radius)
+            for _, block in dataset.cross_blocks(
+                queries=queries, targets=targets, reduced=True
+            ):
+                self._emit_rows(
+                    block, block <= red_radius, metric, with_distances, out
                 )
-                out.append((self.stored[cols], dists))
         self.n_range_queries += len(out)
         self.n_candidates += len(out) * self.n_stored
         return out
 
     def range_query_points(
-        self, payloads: Sequence, radius: float, with_distances: bool = True
+        self, payloads: Sequence, radius, with_distances: bool = True
     ) -> List[QueryResult]:
         dataset = self._require_built()
-        radius = check_radius(radius)
+        radius = check_radii(radius, len(payloads))
         metric = dataset.metric
-        red_radius = metric.reduce_threshold(radius)
+        per_query = isinstance(radius, np.ndarray)
+        red_radii = self._reduced_radii(metric, radius) if per_query else None
+        certified = not per_query and not with_distances
+        red_radius = None if per_query else metric.reduce_threshold(radius)
         stored_payloads = dataset.gather(self.stored)
         out: List[QueryResult] = []
-        step = rows_per_block(self.n_stored)
+        step = rows_per_block(
+            self.n_stored,
+            bytes_per_entry=CERTIFIED_BYTES_PER_ENTRY if certified else 8,
+        )
         for lo in range(0, len(payloads), step):
             chunk = payloads[lo : lo + step]
+            if certified:
+                mask = metric.cross_certified(chunk, stored_payloads, radius)
+                dataset.n_cross_blocks += 1
+                dataset.n_cross_evals += mask.size
+                for row in range(mask.shape[0]):
+                    out.append((self.stored[np.flatnonzero(mask[row])], None))
+                continue
             block = metric.reduced_cross(chunk, stored_payloads)
             dataset.n_cross_blocks += 1
             dataset.n_cross_evals += block.size
-            hits = block <= red_radius
-            for row in range(block.shape[0]):
-                cols = np.flatnonzero(hits[row])
-                dists = (
-                    np.asarray(
-                        metric.expand_reduced(block[row, cols]), dtype=np.float64
-                    )
-                    if with_distances
-                    else None
-                )
-                out.append((self.stored[cols], dists))
+            if per_query:
+                hits = block <= red_radii[lo : lo + block.shape[0], None]
+            else:
+                hits = block <= red_radius
+            self._emit_rows(block, hits, metric, with_distances, out)
         self.n_range_queries += len(out)
         self.n_candidates += len(out) * self.n_stored
         return out

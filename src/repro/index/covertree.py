@@ -20,7 +20,13 @@ from typing import List
 import numpy as np
 
 from repro.covertree.tree import CoverTree
-from repro.index.base import NeighborIndex, QueryResult, check_k, check_radius
+from repro.index.base import (
+    NeighborIndex,
+    QueryResult,
+    check_k,
+    check_radii,
+    check_radius,
+)
 from repro.metricspace.dataset import IndexArray
 
 
@@ -76,20 +82,30 @@ class CoverTreeIndex(NeighborIndex):
         return self._finish(hits, before)
 
     def range_query_batch(
-        self, queries: IndexArray, radius: float, with_distances: bool = True
+        self, queries: IndexArray, radius, with_distances: bool = True
     ) -> List[QueryResult]:
-        return [self.range_query(int(q), radius) for q in np.asarray(queries)]
+        queries = np.asarray(queries)
+        radius = check_radii(radius, len(queries))
+        if isinstance(radius, np.ndarray):
+            # Per-query radii: the tree queries one at a time anyway.
+            return [
+                self.range_query(int(q), float(r))
+                for q, r in zip(queries, radius)
+            ]
+        return [self.range_query(int(q), radius) for q in queries]
 
     def range_query_points(
-        self, payloads, radius: float, with_distances: bool = True
+        self, payloads, radius, with_distances: bool = True
     ) -> List[QueryResult]:
         # The tree queries by payload natively.
         self._require_built()
-        radius = check_radius(radius)
+        radius = check_radii(radius, len(payloads))
+        per_query = isinstance(radius, np.ndarray)
         out: List[QueryResult] = []
-        for payload in payloads:
+        for pos, payload in enumerate(payloads):
+            r = float(radius[pos]) if per_query else radius
             before = self.tree.n_distance_evals
-            hits = self.tree.range_query(payload, radius)
+            hits = self.tree.range_query(payload, r)
             self.n_range_queries += 1
             out.append(self._finish(hits, before))
         return out

@@ -33,11 +33,21 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.index.base import NeighborIndex, QueryResult, check_k, check_radius
+from repro.index.base import (
+    NeighborIndex,
+    QueryResult,
+    check_k,
+    check_radii,
+    check_radius,
+)
 from repro.metricspace.base import Metric
 from repro.metricspace.counting import CountingMetric
 from repro.metricspace.cosine import CosineMetric
-from repro.metricspace.dataset import IndexArray, rows_per_block
+from repro.metricspace.dataset import (
+    CERTIFIED_BYTES_PER_ENTRY,
+    IndexArray,
+    rows_per_block,
+)
 from repro.metricspace.euclidean import EuclideanMetric
 from repro.metricspace.minkowski import (
     ChebyshevMetric,
@@ -341,8 +351,9 @@ class GridIndex(NeighborIndex):
         self,
         qcells: np.ndarray,
         eval_rows,
-        radius: float,
+        radius,
         with_distances: bool,
+        eval_certified=None,
     ) -> List[QueryResult]:
         """Shared cell-grouped range-query loop.
 
@@ -351,12 +362,35 @@ class GridIndex(NeighborIndex):
         against the gathered candidate ids ``cand``; the two public
         entry points differ only in how query coordinates and exact
         filters are obtained (dataset indices vs raw payloads).
+
+        ``radius`` may be a per-query array (see
+        :func:`~repro.index.base.check_radii`): cell gathering then
+        uses each query group's max view radius and the exact filter
+        applies per-row thresholds.  Scalar decision-only queries
+        (``with_distances=False``) use ``eval_certified(sub, cand) ->
+        boolean mask`` instead of the reduced filter, riding the
+        mixed-precision cascade.
         """
         dataset = self.dataset
         metric = dataset.metric
-        red_radius = metric.reduce_threshold(radius)
-        view_r = self._view.view_radius(radius)
-        offsets = self._cell_offsets(view_r)
+        per_query = isinstance(radius, np.ndarray)
+        if per_query:
+            red_radii = np.asarray(
+                [metric.reduce_threshold(float(r)) for r in radius],
+                dtype=np.float64,
+            )
+            view_radii = np.asarray(
+                [self._view.view_radius(float(r)) for r in radius],
+                dtype=np.float64,
+            )
+            offsets = None
+        else:
+            red_radius = metric.reduce_threshold(radius)
+            view_r = self._view.view_radius(radius)
+            offsets = self._cell_offsets(view_r)
+        certified = (
+            eval_certified is not None and not per_query and not with_distances
+        )
         n_queries = len(qcells)
 
         out: List[Optional[QueryResult]] = [None] * n_queries
@@ -366,7 +400,15 @@ class GridIndex(NeighborIndex):
         uniq, query_groups = _group_rows(qcells)
         for u in range(len(uniq)):
             group = query_groups[u]
-            cand_pos = self._gather(uniq[u], offsets, view_r)
+            if per_query:
+                # Gather at the group's widest radius; the per-row
+                # exact filter below restores each query's own bound.
+                group_view_r = float(view_radii[group].max())
+                cand_pos = self._gather(
+                    uniq[u], self._cell_offsets(group_view_r), group_view_r
+                )
+            else:
+                cand_pos = self._gather(uniq[u], offsets, view_r)
             if cand_pos.size == 0:
                 for q in group:
                     out[q] = empty
@@ -376,12 +418,24 @@ class GridIndex(NeighborIndex):
             # together under a generous radius) must not materialize
             # one |group| x |cand| matrix — keep the byte-bounded
             # block guarantee of the engine paths this replaces.
-            step = rows_per_block(len(cand))
+            step = rows_per_block(
+                len(cand),
+                bytes_per_entry=CERTIFIED_BYTES_PER_ENTRY if certified else 8,
+            )
             for lo in range(0, len(group), step):
                 sub = group[lo : lo + step]
+                if certified:
+                    mask = eval_certified(sub, cand)
+                    self.n_candidates += mask.size
+                    for row, q in enumerate(sub):
+                        out[q] = (cand[np.flatnonzero(mask[row])], None)
+                    continue
                 block = eval_rows(sub, cand)
                 self.n_candidates += block.size
-                hits = block <= red_radius
+                if per_query:
+                    hits = block <= red_radii[sub][:, None]
+                else:
+                    hits = block <= red_radius
                 for row, q in enumerate(sub):
                     cols = np.flatnonzero(hits[row])
                     dists = (
@@ -397,24 +451,29 @@ class GridIndex(NeighborIndex):
         return out
 
     def range_query_batch(
-        self, queries: IndexArray, radius: float, with_distances: bool = True
+        self, queries: IndexArray, radius, with_distances: bool = True
     ) -> List[QueryResult]:
         dataset = self._require_built()
-        radius = check_radius(radius)
         queries = np.asarray(queries, dtype=np.intp)
+        radius = check_radii(radius, len(queries))
         qproj = self._view.coords(dataset.gather(queries))[:, self._dims]
         qcells = np.floor((qproj - self._origin) / self._width).astype(np.int64)
 
         def eval_rows(sub, cand):
             return dataset.cross(queries[sub], cand, reduced=True)
 
-        return self._range_impl(qcells, eval_rows, radius, with_distances)
+        def eval_certified(sub, cand):
+            return dataset.cross_certified(queries[sub], cand, radius)
+
+        return self._range_impl(
+            qcells, eval_rows, radius, with_distances, eval_certified
+        )
 
     def range_query_points(
-        self, payloads, radius: float, with_distances: bool = True
+        self, payloads, radius, with_distances: bool = True
     ) -> List[QueryResult]:
         dataset = self._require_built()
-        radius = check_radius(radius)
+        radius = check_radii(radius, len(payloads))
         metric = dataset.metric
         qproj = self._view.coords(np.asarray(payloads, dtype=np.float64))[
             :, self._dims
@@ -429,7 +488,17 @@ class GridIndex(NeighborIndex):
             dataset.n_cross_evals += block.size
             return block
 
-        return self._range_impl(qcells, eval_rows, radius, with_distances)
+        def eval_certified(sub, cand):
+            mask = metric.cross_certified(
+                [payloads[int(i)] for i in sub], dataset.gather(cand), radius
+            )
+            dataset.n_cross_blocks += 1
+            dataset.n_cross_evals += mask.size
+            return mask
+
+        return self._range_impl(
+            qcells, eval_rows, radius, with_distances, eval_certified
+        )
 
     def knn(self, query: int, k: int) -> QueryResult:
         dataset = self._require_built()

@@ -32,6 +32,11 @@ def center_neighbor_sets(
     each center position ``j``, the sorted positions of centers within
     ``threshold`` of ``e_j`` (including ``j``) — the same structure as
     ``GonzalezNet.neighbor_centers``.
+
+    The queries ask for membership only (``with_distances=False``), so
+    brute/grid backends answer them through the certified
+    mixed-precision cascade: float32 GEMM decisions with exact float64
+    rescue of the uncertain band (see :mod:`repro.metricspace.precision`).
     """
     centers = np.asarray(net.centers, dtype=np.intp)
     positions_of = getattr(net, "positions_of", None)

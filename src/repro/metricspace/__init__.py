@@ -36,6 +36,12 @@ from repro.metricspace.euclidean import EuclideanMetric
 from repro.metricspace.hamming import HammingMetric
 from repro.metricspace.jaccard import JaccardMetric
 from repro.metricspace.minkowski import ChebyshevMetric, ManhattanMetric, MinkowskiMetric
+from repro.metricspace.precision import (
+    CascadeStats,
+    precision_mode,
+    set_precision,
+)
+from repro.metricspace.precision import stats as cascade_stats
 from repro.metricspace.precomputed import CachedMetric, PrecomputedMetric
 
 __all__ = [
@@ -53,6 +59,10 @@ __all__ = [
     "HammingMetric",
     "JaccardMetric",
     "CountingMetric",
+    "CascadeStats",
+    "cascade_stats",
+    "precision_mode",
+    "set_precision",
     "MetricDataset",
     "GrowingMetricDataset",
     "PayloadStore",

@@ -32,6 +32,18 @@ implement :meth:`Metric.distance` to be correct everywhere:
    The reduction must be strictly increasing on the metric's range so
    that comparisons and argmins are preserved exactly; the identity
    defaults make every metric correct without opting in.
+4. *Certified threshold tests* — :meth:`Metric.cross_certified` /
+   :meth:`Metric.pair_certified` answer ``dis(q, t) <= threshold`` as a
+   boolean mask directly, without promising distance values at all.
+   That contract is what unlocks the mixed-precision GEMM cascade (see
+   :mod:`repro.metricspace.precision`): vector metrics compute the
+   block in float32, certify each decision with a rigorous
+   rounding-error band, and recompute only the in-band pairs in
+   float64.  The default implementation is the plain float64 reduced
+   comparison, so every metric is correct without opting in; consumers
+   that only threshold (core counting, merge edges, range queries with
+   ``with_distances=False``) call the certified form, while consumers
+   that need distance *values* stay on the float64 kernels.
 
 Block sizing is the caller's job: :meth:`MetricDataset.cross_blocks`
 slices the query side so one block of the distance matrix stays within a
@@ -147,6 +159,41 @@ class Metric(ABC):
     ) -> np.ndarray:
         """Aligned one-to-one kernel in reduced space (default: true)."""
         return self.pair_distances(a_batch, b_batch)
+
+    # ------------------------------------------------------------------
+    # Certified threshold tests (the mixed-precision cascade hook)
+
+    def cross_certified(
+        self, queries: ArrayLike, targets: ArrayLike, threshold: float
+    ) -> np.ndarray:
+        """Boolean block ``dis(queries[i], targets[j]) <= threshold``.
+
+        The decision-only companion of :meth:`reduced_cross`: callers
+        that consume the block as a mask (core counting, merge edges,
+        ``with_distances=False`` range queries) get the same decisions
+        without the engine promising float64 distance values.  Vector
+        metrics override this with the float32 GEMM cascade of
+        :mod:`repro.metricspace.precision`; the default is the exact
+        float64 reduced comparison, so decisions always match the plain
+        path.
+        """
+        red = self.reduced_cross(queries, targets)
+        return red <= self.reduce_threshold(threshold)
+
+    def pair_certified(
+        self, a_batch: ArrayLike, b_batch: ArrayLike, threshold: float
+    ) -> np.ndarray:
+        """Aligned decisions ``dis(a_batch[i], b_batch[i]) <= threshold``.
+
+        The COO companion of :meth:`cross_certified`.  Stays on the
+        float64 difference kernel even under the cascade: the aligned
+        gather is memory-bound, so a float32 pass plus the norms the
+        band bound needs would cost more than it saves — and keeping
+        it float64 makes the decisions *bit-identical* to the plain
+        ``reduced_pair_distances <= reduce_threshold(t)`` test.
+        """
+        red = self.reduced_pair_distances(a_batch, b_batch)
+        return red <= self.reduce_threshold(threshold)
 
     # ------------------------------------------------------------------
 

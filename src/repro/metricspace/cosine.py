@@ -17,6 +17,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.metricspace.base import Metric
+from repro.metricspace import precision
+from repro.metricspace.precision import band_halfwidth_factor, cascade_engaged
 
 
 def _safe_unit(v: np.ndarray) -> np.ndarray:
@@ -97,3 +99,38 @@ class CosineMetric(Metric):
         np.clip(cos, -1.0, 1.0, out=cos)
         cos *= -1.0
         return cos
+
+    def cross_certified(
+        self, queries: np.ndarray, targets: np.ndarray, threshold: float
+    ) -> np.ndarray:
+        """Mixed-precision certified block test on the chord view.
+
+        Rows are unit-normalized in float64, cast, and multiplied with
+        one float32 sgemm.  On the unit sphere every operand is bounded
+        by 1 (Cauchy–Schwarz), so the rounding band is the *constant*
+        ``SAFETY·γ₃₂(d+8)`` — no per-pair norms needed.  In-band pairs
+        are rescued through the float64 aligned kernel.
+        """
+        red_thr = self.reduce_threshold(threshold)
+        if not cascade_engaged(len(queries) * len(targets)):
+            # Bit-identical to the plain reduced comparison (normalize
+            # exactly once, like reduced_cross itself).
+            precision.stats.n_f64_blocks += 1
+            return self.reduced_cross(queries, targets) <= red_thr
+        precision.stats.n_f32_blocks += 1
+        uq = _safe_unit_rows(queries)
+        ut = _safe_unit_rows(targets)
+        neg_cos = uq.astype(np.float32) @ ut.astype(np.float32).T
+        neg_cos *= np.float32(-1.0)
+        band = band_halfwidth_factor(uq.shape[1])
+        passed = neg_cos <= np.float32(red_thr)
+        uncertain = np.abs(neg_cos - np.float32(red_thr)) <= band
+        n_band = int(np.count_nonzero(uncertain))
+        precision.stats.n_certified += neg_cos.size - n_band
+        precision.stats.n_rescued += n_band
+        if n_band:
+            rows, cols = np.nonzero(uncertain)
+            exact = np.einsum("ij,ij->i", uq[rows], ut[cols])
+            np.clip(exact, -1.0, 1.0, out=exact)
+            passed[rows, cols] = -exact <= red_thr
+        return passed

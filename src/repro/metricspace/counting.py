@@ -92,6 +92,22 @@ class CountingMetric(Metric):
         self.calls += 1
         return out
 
+    # Certified threshold tests delegate so the cascade stays active
+    # under instrumentation; a decided pair is one t_dis evaluation
+    # regardless of the precision it was decided at.
+
+    def cross_certified(self, queries: Any, targets: Any, threshold: float) -> np.ndarray:
+        out = self.inner.cross_certified(queries, targets, threshold)
+        self.count += out.size
+        self.calls += 1
+        return out
+
+    def pair_certified(self, a_batch: Any, b_batch: Any, threshold: float) -> np.ndarray:
+        out = self.inner.pair_certified(a_batch, b_batch, threshold)
+        self.count += len(out)
+        self.calls += 1
+        return out
+
     def pairwise(self, batch: Sequence[Any]) -> np.ndarray:
         out = self.inner.pairwise(batch)
         m = len(batch)

@@ -41,12 +41,30 @@ ADAPT_MIN_BYTES = 256 << 10
 ADAPT_MAX_BYTES = 64 << 20
 
 
-def rows_per_block(n_targets: int, block_bytes: int = DEFAULT_BLOCK_BYTES) -> int:
+#: Per-entry byte weight of a *certified* block: the float64 fallback
+#: holds the reduced block (8) plus the mask (1); the cascade holds the
+#: float32 block (4), both masks (2) and the float32 operand copies.
+#: 12 covers either shape with headroom for the rescue gather.
+CERTIFIED_BYTES_PER_ENTRY = 12
+
+
+def rows_per_block(
+    n_targets: int,
+    block_bytes: int = DEFAULT_BLOCK_BYTES,
+    bytes_per_entry: int = 8,
+) -> int:
     """Number of query rows per block so one ``(rows, n_targets)``
-    float64 distance block stays within ``block_bytes`` (always >= 1)."""
+    distance block stays within ``block_bytes`` (always >= 1).
+
+    ``bytes_per_entry`` defaults to a float64 entry; certified blocks
+    pass :data:`CERTIFIED_BYTES_PER_ENTRY` so the budget accounts for
+    the extra float32 copies and boolean masks of the cascade.
+    """
     if block_bytes <= 0:
         raise ValueError(f"block_bytes must be positive, got {block_bytes}")
-    return max(1, int(block_bytes) // (8 * max(1, int(n_targets))))
+    return max(
+        1, int(block_bytes) // (int(bytes_per_entry) * max(1, int(n_targets)))
+    )
 
 
 def pairs_per_slice(
@@ -199,6 +217,42 @@ class MetricDataset:
         self.n_cross_evals += block.size
         return block
 
+    def cross_certified(
+        self,
+        queries: Optional[IndexArray],
+        targets: Optional[IndexArray],
+        threshold: float,
+    ) -> np.ndarray:
+        """Boolean block ``dis(q, t) <= threshold`` between index sets.
+
+        The decision-only companion of :meth:`cross`: routes through
+        :meth:`Metric.cross_certified`, so vector metrics answer with
+        the mixed-precision GEMM cascade (float32 block + rigorous
+        rounding band + float64 rescue of the band pairs).  Each
+        decided pair counts as one distance evaluation.
+        """
+        q = self._points if queries is None else self.gather(queries)
+        t = self._points if targets is None else self.gather(targets)
+        mask = self.metric.cross_certified(q, t, threshold)
+        self.n_cross_blocks += 1
+        self.n_cross_evals += mask.size
+        return mask
+
+    def pair_certified(
+        self,
+        a_indices: IndexArray,
+        b_indices: IndexArray,
+        threshold: float,
+    ) -> np.ndarray:
+        """Aligned decisions ``dis(a[i], b[i]) <= threshold`` (the COO
+        companion of :meth:`cross_certified`)."""
+        a = self.gather(a_indices)
+        b = self.gather(b_indices)
+        out = self.metric.pair_certified(a, b, threshold)
+        self.n_cross_blocks += 1
+        self.n_cross_evals += len(out)
+        return out
+
     def pair(
         self,
         a_indices: IndexArray,
@@ -229,6 +283,7 @@ class MetricDataset:
         targets: Optional[IndexArray] = None,
         block_bytes: Optional[int] = None,
         reduced: bool = False,
+        certified_threshold: Optional[float] = None,
     ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
         """Chunked iterator over the ``(queries, targets)`` distance matrix.
 
@@ -244,6 +299,13 @@ class MetricDataset:
         window.  Pass an explicit byte count for fully deterministic
         chunking (tests, memory-capped environments).  Chunking never
         affects the values produced, only their grouping.
+
+        With ``certified_threshold`` set, blocks are *boolean decision
+        masks* ``dis <= certified_threshold`` from
+        :meth:`Metric.cross_certified` (the mixed-precision cascade for
+        vector metrics); the byte budget then weighs each entry at
+        :data:`CERTIFIED_BYTES_PER_ENTRY` to cover the float32 copies.
+        ``reduced`` is ignored in that mode.
         """
         adaptive = block_bytes is None
         q = np.arange(self._n, dtype=np.intp) if queries is None else np.asarray(
@@ -252,14 +314,24 @@ class MetricDataset:
         t_idx = None if targets is None else np.asarray(targets, dtype=np.intp)
         t = self._points if t_idx is None else self.gather(t_idx)
         n_targets = self._n if t_idx is None else len(t_idx)
-        kernel = self.metric.reduced_cross if reduced else self.metric.cross
+        if certified_threshold is not None:
+            threshold = float(certified_threshold)
+            entry_bytes = CERTIFIED_BYTES_PER_ENTRY
+
+            def kernel(chunk_payloads, targets_payloads):
+                return self.metric.cross_certified(
+                    chunk_payloads, targets_payloads, threshold
+                )
+        else:
+            entry_bytes = 8
+            kernel = self.metric.reduced_cross if reduced else self.metric.cross
         if not adaptive:
-            step = rows_per_block(n_targets, block_bytes)
+            step = rows_per_block(n_targets, block_bytes, entry_bytes)
         start = 0
         while start < len(q):
             if adaptive:
                 budget = self._adaptive_block_bytes
-                step = rows_per_block(n_targets, budget)
+                step = rows_per_block(n_targets, budget, entry_bytes)
             chunk = q[start : start + step]
             began = time.perf_counter()
             block = kernel(self.gather(chunk), t)
@@ -276,7 +348,7 @@ class MetricDataset:
                     # Only a block that actually consumed its budget is
                     # evidence the budget is too small (tail chunks and
                     # tiny query sets finish fast regardless).
-                    and block.size * 8 >= budget // 2
+                    and block.size * entry_bytes >= budget // 2
                 ):
                     self._adaptive_block_bytes = min(budget * 2, ADAPT_MAX_BYTES)
             self.n_cross_blocks += 1

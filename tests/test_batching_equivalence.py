@@ -115,3 +115,102 @@ def test_windowed_insert_many_matches_insert():
     queries = pts[:: 29]
     for q in queries:
         assert one.predict(q) == many.predict(q)
+
+
+# ----------------------------------------------------------------------
+# Certified mixed-precision cascade: adversarial band pairs
+
+
+@pytest.fixture
+def force_float32():
+    """Force the cascade's float32 tier regardless of block size, and
+    restore the default policy afterwards."""
+    from repro.metricspace import precision
+
+    precision.set_precision("float32")
+    precision.stats.reset()
+    yield precision.stats
+    precision.set_precision(None)
+
+
+def _exact_mask(metric, queries, targets, threshold):
+    """Reference decisions from the float64 difference kernel (not the
+    gram expansion, whose cancellation error is exactly what the
+    cascade's rescue avoids)."""
+    q = np.asarray(queries, dtype=np.float64)
+    t = np.asarray(targets, dtype=np.float64)
+    diff = q[:, None, :] - t[None, :, :]
+    return np.einsum("ijk,ijk->ij", diff, diff) <= threshold * threshold
+
+
+def test_cascade_rescues_large_norm_offsets(force_float32):
+    """Points at offset 1e4 with pair gaps of ±1e-4 relative: every
+    pair lands inside the float32 uncertainty band (the norms inflate
+    the rounding bound far past the gap), so the rescue must recompute
+    all of them — and get every verdict right."""
+    rng = np.random.default_rng(42)
+    metric = EuclideanMetric()
+    thr = 2.0
+    dim = 8
+    base = np.full(dim, 1e4 / np.sqrt(dim))
+    queries = base + rng.normal(0, 0.5, size=(24, dim))
+    # Targets displaced from each query's direction by thr·(1 ± δ):
+    # alternating just-inside / just-outside the threshold.
+    deltas = np.where(np.arange(32) % 2 == 0, 1e-4, -1e-4)
+    dirs = rng.normal(size=(32, dim))
+    dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+    targets = base + dirs * thr * (1.0 + deltas)[:, None]
+    mask = metric.cross_certified(queries, targets, thr)
+    np.testing.assert_array_equal(
+        mask, _exact_mask(metric, queries, targets, thr)
+    )
+    stats = force_float32
+    assert stats.n_rescued == mask.size  # every pair was a band pair
+
+
+def test_cascade_rescues_near_duplicates(force_float32):
+    """Near-duplicate points decided at a tiny threshold: thr=1e-4
+    with displacements thr·(1 ± 1e-3).  The float32 tier cannot
+    separate d² from thr² at that scale, so the band pairs must be
+    rescued exactly."""
+    rng = np.random.default_rng(7)
+    metric = EuclideanMetric()
+    thr = 1e-4
+    dim = 8
+    queries = rng.normal(0, 1.0, size=(16, dim))
+    dirs = rng.normal(size=(16, dim))
+    dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+    deltas = np.where(np.arange(16) % 2 == 0, 1e-3, -1e-3)
+    targets = queries + dirs * thr * (1.0 + deltas)[:, None]
+    mask = metric.cross_certified(queries, targets, thr)
+    np.testing.assert_array_equal(
+        mask, _exact_mask(metric, queries, targets, thr)
+    )
+    stats = force_float32
+    assert stats.n_rescued >= 16  # at least the diagonal band pairs
+
+
+@pytest.mark.parametrize("backend", ["auto", "brute", "grid", "covertree"])
+def test_labels_bit_identical_cascade_vs_float64(monkeypatch, backend):
+    """End-to-end: the forced-float32 cascade and the pure-float64
+    engine must agree label-for-label under every index backend,
+    including on data living at a large offset (worst case for the
+    gram expansion's cancellation)."""
+    monkeypatch.setenv("REPRO_DEFAULT_INDEX", backend)
+    pts, _ = make_blobs(n=400, n_clusters=3, dim=4, std=0.5, seed=9)
+    pts = pts + 1e3  # push norms up without changing the geometry
+    eps, min_pts = 0.9, 5
+
+    monkeypatch.setenv("REPRO_PRECISION", "float64")
+    ref_exact = MetricDBSCAN(eps, min_pts).fit(MetricDataset(pts))
+    ref_approx = ApproxMetricDBSCAN(eps, min_pts, rho=0.5).fit(
+        MetricDataset(pts)
+    )
+    monkeypatch.setenv("REPRO_PRECISION", "float32")
+    got_exact = MetricDBSCAN(eps, min_pts).fit(MetricDataset(pts))
+    got_approx = ApproxMetricDBSCAN(eps, min_pts, rho=0.5).fit(
+        MetricDataset(pts)
+    )
+    np.testing.assert_array_equal(ref_exact.labels, got_exact.labels)
+    np.testing.assert_array_equal(ref_exact.core_mask, got_exact.core_mask)
+    np.testing.assert_array_equal(ref_approx.labels, got_approx.labels)

@@ -200,3 +200,64 @@ def test_net_properties_1d(values, r_bar):
     if m >= 2:
         off = net.center_distances[~np.eye(m, dtype=bool)]
         assert off.min() > r_bar - 1e-9
+
+
+def adversarial_outlier_dataset(seed=3):
+    """Many tight fringe-rich clusters plus one distant diffuse outlier
+    group — the configuration that exposed the inflated flush radius.
+
+    While the outlier group still holds active points, its (stale)
+    group radius dominates ``max(g_e)``.  The buggy flush queried
+    *every* pending center at the global bound ``2·max(g_e)``, so the
+    long-covered tight groups were dragged into every harvest; the
+    per-center bound keeps each group's query at its own reach.
+    """
+    rng = np.random.default_rng(seed)
+    pts = []
+    for i in range(50):
+        cx, cy = (i % 10) * 8.0, (i // 10) * 8.0
+        ang = rng.uniform(0, 2 * np.pi, 120)
+        rad = 1.35 * np.sqrt(rng.uniform(0, 1, 120))
+        pts.append(np.c_[cx + rad * np.cos(ang), cy + rad * np.sin(ang)])
+    pts.append(
+        rng.uniform(-50.0, 50.0, (400, 2)) + np.array([10000.0, 0.0])
+    )
+    return np.vstack(pts)
+
+
+class TestFlushRadiusCounters:
+    """Regression tests for the per-center flush radius fix."""
+
+    def test_counters_shrink_on_adversarial_dataset(self):
+        """The global-radius flush measured 41520 peak pair bytes and
+        1_048_490 brute candidate scans on this exact dataset; the
+        per-center bound must stay strictly below both (measured:
+        36672 / 941_377, asserted with ~5% headroom)."""
+        ds = MetricDataset(adversarial_outlier_dataset(), EuclideanMetric())
+        net = radius_guided_gonzalez(
+            ds, r_bar=1.0, index="brute", eps_for_counts=1.0
+        )
+        assert net.counters["peak_center_matrix_bytes"] <= 39_000
+        assert net.counters["net_candidates"] <= 990_000
+
+    def test_backends_identical_on_adversarial_dataset(self):
+        """The harvested steal-pair superset differs per backend only
+        in float-boundary wobble absorbed by the slack, so the pick
+        sequence, assignment, and ball counts must be bit-identical."""
+        X = adversarial_outlier_dataset()
+        nets = [
+            radius_guided_gonzalez(
+                MetricDataset(X, EuclideanMetric()),
+                r_bar=1.0,
+                index=backend,
+                eps_for_counts=1.0,
+            )
+            for backend in ("brute", "grid")
+        ]
+        ref, other = nets
+        assert ref.centers == other.centers
+        np.testing.assert_array_equal(ref.center_of, other.center_of)
+        np.testing.assert_array_equal(
+            ref.dist_to_center, other.dist_to_center
+        )
+        np.testing.assert_array_equal(ref.ball_counts, other.ball_counts)

@@ -1,0 +1,62 @@
+"""Input-dtype boundary coercion: float32/int data must cluster
+bit-identically to its float64 cast.
+
+The engine coerces vector payloads to float64 exactly once, at the
+dataset/store boundary (``MetricDataset.__init__`` / ``PayloadStore``);
+every downstream kernel — including the float32 GEMM tier of the
+certified cascade — then starts from the same float64 operands.  If a
+float32 input ever leaked straight into the cascade's low tier it
+would be rounded twice and these tests would diverge.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import StreamingApproxDBSCAN, approx_metric_dbscan, metric_dbscan
+from repro.metricspace import EuclideanMetric, MetricDataset
+
+BACKENDS = ["auto", "brute", "grid", "covertree"]
+
+
+def blobs(dtype, seed=11, n=240):
+    rng = np.random.default_rng(seed)
+    pts = np.vstack([
+        rng.normal(0.0, 0.4, size=(n // 3, 3)),
+        rng.normal(5.0, 0.4, size=(n // 3, 3)),
+        rng.normal((0.0, 7.0, 0.0), 0.4, size=(n - 2 * (n // 3), 3)),
+    ])
+    return pts.astype(dtype)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("dtype", [np.float32, np.int64])
+def test_exact_labels_match_float64_cast(monkeypatch, backend, dtype):
+    monkeypatch.setenv("REPRO_DEFAULT_INDEX", backend)
+    raw = blobs(dtype)
+    ref = metric_dbscan(MetricDataset(raw.astype(np.float64)), 1.0, 5)
+    got = metric_dbscan(MetricDataset(raw), 1.0, 5)
+    np.testing.assert_array_equal(ref.labels, got.labels)
+    np.testing.assert_array_equal(ref.core_mask, got.core_mask)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("dtype", [np.float32, np.int64])
+def test_approx_labels_match_float64_cast(monkeypatch, backend, dtype):
+    monkeypatch.setenv("REPRO_DEFAULT_INDEX", backend)
+    raw = blobs(dtype)
+    ref = approx_metric_dbscan(
+        MetricDataset(raw.astype(np.float64)), 1.0, 5, rho=0.5
+    )
+    got = approx_metric_dbscan(MetricDataset(raw), 1.0, 5, rho=0.5)
+    np.testing.assert_array_equal(ref.labels, got.labels)
+
+
+def test_streaming_payloads_match_float64_cast():
+    """Stream payloads enter through ``PayloadStore.append`` — the
+    other coercion boundary — so float32 arrivals must reproduce the
+    float64 run exactly."""
+    raw = blobs(np.float32, seed=12, n=180)
+    solver = StreamingApproxDBSCAN(1.0, 5, rho=0.5)
+    ref = solver.fit(MetricDataset(raw.astype(np.float64), EuclideanMetric()))
+    got = solver.fit(MetricDataset(raw, EuclideanMetric()))
+    np.testing.assert_array_equal(ref.labels, got.labels)

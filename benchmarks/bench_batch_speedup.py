@@ -1,6 +1,7 @@
 """Batched-engine + precision-cascade speedup check.
 
-Two measurements, written to ``BENCH_batch_speedup.json``:
+Two measurements, written to ``benchmarks/results/BENCH_batch_speedup.json``
+in the flight-recorder schema (:mod:`repro.obs.recorder`):
 
 1. **End to end** — the Euclidean radius-guided Gonzalez +
    approx-DBSCAN path, once under ``REPRO_PRECISION=float64`` and once
@@ -26,11 +27,17 @@ from pathlib import Path
 
 import numpy as np
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+_HERE = Path(__file__).resolve().parent
+for _p in (str(_HERE), str(_HERE.parent / "src")):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
 
 from repro import ApproxMetricDBSCAN, MetricDataset
 from repro.datasets import make_blobs, make_moons
 from repro.metricspace import precision
+from repro.obs import recorder
+
+from common import RESULTS_DIR
 
 
 def _fit_leg(mode, pts, eps, min_pts, rho, repeats):
@@ -109,8 +116,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--out", type=Path,
-        default=Path(__file__).resolve().parent.parent
-        / "BENCH_batch_speedup.json",
+        default=RESULTS_DIR / "BENCH_batch_speedup.json",
     )
     args = parser.parse_args(argv)
     if args.quick:
@@ -146,18 +152,43 @@ def main(argv=None) -> int:
         pts, args.eps, min(n_queries, len(pts)), max(args.repeats, 2)
     )
 
-    report = {
-        "config": {
+    def _end_to_end_entry(label, leg):
+        return recorder.series_entry(
+            f"end_to_end/{label}",
+            wall=leg["wall_seconds"],
+            counters={"distance_evals": leg["n_cross_evals"]},
+            n_clusters=leg["n_clusters"],
+            n_noise=leg["n_noise"],
+            rescue_fraction=leg["cascade"]["rescue_fraction"],
+        )
+
+    series = [
+        _end_to_end_entry("float64", f64),
+        _end_to_end_entry("cascade", cas),
+        recorder.series_entry(
+            "cross_block",
+            wall=cross["certified_wall_seconds"],
+            float64_wall_seconds=cross["float64_wall_seconds"],
+            speedup=cross["speedup"],
+            rescue_fraction=cross["cascade"]["rescue_fraction"],
+            counters={
+                "n_queries": cross["n_queries"],
+                "n_targets": cross["n_targets"],
+            },
+        ),
+    ]
+    artifact = recorder.make_artifact(
+        "batch_speedup", series,
+        config={
             "dataset": args.dataset, "n": args.n, "dim": pts.shape[1],
             "eps": args.eps, "min_pts": args.min_pts, "rho": args.rho,
             "repeats": args.repeats, "quick": args.quick,
+            "labels_equal": labels_equal,
+            "masks_equal": cross["masks_equal"],
         },
-        "end_to_end": {
-            "float64": f64, "cascade": cas, "labels_equal": labels_equal,
-        },
-        "cross_block": cross,
-    }
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    )
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
 
     print(
         f"{args.dataset} n={args.n} dim={pts.shape[1]} eps={args.eps}: "

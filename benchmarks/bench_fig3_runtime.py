@@ -38,7 +38,9 @@ from repro.baselines import DBSCANPlusPlus, DYWDBSCAN, GanTaoDBSCAN, OriginalDBS
 from repro.datasets import load_dataset, make_moons
 from repro.metricspace import EuclideanMetric
 
-from common import format_counter, format_table, timed, write_report
+from repro.obs.recorder import series_entry
+
+from common import format_counter, format_table, timed, write_bench_artifact, write_report
 
 MIN_PTS = 10
 RHO = 0.5
@@ -70,6 +72,7 @@ def run_sweep(name):
     cfg = DATASETS[name]
     loaded = load_dataset(name, size=cfg["size"], seed=0)
     rows = []
+    series = []
     for eps in cfg["eps_values"]:
         for algo_name, factory in algorithms_for(loaded.dataset).items():
             counted = MetricDataset(
@@ -85,7 +88,11 @@ def run_sweep(name):
                 format_counter(counters, "n_candidates"),
                 result.n_clusters, result.n_noise,
             ))
-    return loaded, rows
+            series.append(series_entry(
+                f"eps={eps:g}/{algo_name}", wall=seconds, result=result,
+                metric_evals=int(counted.metric.count),
+            ))
+    return loaded, rows, series
 
 
 SWEEP_COLUMNS = [
@@ -95,7 +102,7 @@ SWEEP_COLUMNS = [
 ]
 
 
-def write_sweep_report(name, loaded, rows):
+def write_sweep_report(name, loaded, rows, series=None, quick=False):
     lines = [
         f"Figure 3 ({name}) — running time vs eps "
         f"(n={loaded.dataset.n}, MinPts={MIN_PTS}, rho={RHO})",
@@ -103,14 +110,20 @@ def write_sweep_report(name, loaded, rows):
     ]
     lines += format_table(SWEEP_COLUMNS, rows)
     write_report(f"fig3_runtime_{name}", lines)
+    if series:
+        write_bench_artifact(
+            f"fig3_{name}", series,
+            config={"dataset": name, "n": loaded.dataset.n,
+                    "min_pts": MIN_PTS, "rho": RHO, "quick": quick},
+        )
 
 
 @pytest.mark.parametrize("name", list(DATASETS))
 def test_fig3_eps_sweep(benchmark, name):
-    loaded, rows = benchmark.pedantic(
+    loaded, rows, series = benchmark.pedantic(
         lambda: run_sweep(name), rounds=1, iterations=1
     )
-    write_sweep_report(name, loaded, rows)
+    write_sweep_report(name, loaded, rows, series)
     assert rows
 
 
@@ -175,8 +188,8 @@ def main(argv=None):
             cfg["size"] = min(cfg["size"], 300)
             cfg["eps_values"] = cfg["eps_values"][:1]
     for name in names:
-        loaded, rows = run_sweep(name)
-        write_sweep_report(name, loaded, rows)
+        loaded, rows, series = run_sweep(name)
+        write_sweep_report(name, loaded, rows, series, quick=args.quick)
     return 0
 
 

@@ -44,7 +44,9 @@ from repro.datasets import make_blobs
 from repro.index import build_index
 from repro.metricspace import MetricDataset
 
-from common import format_table, write_report
+from repro.obs.recorder import series_entry
+
+from common import format_table, write_bench_artifact, write_report
 
 MIN_PTS = 10
 
@@ -93,7 +95,7 @@ def run_clustering_comparison(n=20000, dim=16, backends=("brute", "grid")):
     """End-to-end DBSCAN per backend on one d>=16 workload; returns
     (rows, labels per backend, seconds per backend)."""
     pts, eps = _blob_workload(n, dim)
-    rows, labels, seconds = [], {}, {}
+    rows, labels, seconds, series = [], {}, {}, []
     for backend in backends:
         dataset = MetricDataset(pts)
         start = time.perf_counter()
@@ -108,14 +110,17 @@ def run_clustering_comparison(n=20000, dim=16, backends=("brute", "grid")):
             f"{counters.get('distance_evals', 0):,}",
             result.n_clusters, result.n_noise,
         ))
-    return rows, labels, seconds
+        series.append(series_entry(
+            f"dbscan/{backend}", wall=seconds[backend], result=result,
+        ))
+    return rows, labels, seconds, series
 
 
 def run_streaming_comparison(n=8000, dim=16, rho=1.0):
     """Streaming solver, dense vs indexed passes; returns
     (rows, labels per leg)."""
     pts, eps = _blob_workload(n, dim)
-    rows, labels = [], {}
+    rows, labels, series = [], {}, []
     for leg in ("dense", "brute", "grid"):
         dataset = MetricDataset(pts)
         solver = StreamingApproxDBSCAN(
@@ -132,10 +137,14 @@ def run_streaming_comparison(n=8000, dim=16, rho=1.0):
             f"{counters.get('peak_center_matrix_bytes', 0):,}",
             result.stats["n_centers"], result.stats["summary_size"],
         ))
-    return rows, labels
+        series.append(series_entry(
+            f"streaming/{leg}", wall=seconds, result=result,
+        ))
+    return rows, labels, series
 
 
-def _report(sweep_rows, cluster_rows, n, dim, streaming_rows=None):
+def _report(sweep_rows, cluster_rows, n, dim, streaming_rows=None,
+            series=None, quick=False):
     lines = [
         "Index backends — raw ε-range queries over synthetic blobs",
         "",
@@ -167,10 +176,16 @@ def _report(sweep_rows, cluster_rows, n, dim, streaming_rows=None):
             streaming_rows,
         )
     write_report("index_backends", lines)
+    if series:
+        write_bench_artifact(
+            "index_backends", series,
+            config={"n": n, "dim": dim, "min_pts": MIN_PTS, "quick": quick},
+        )
 
 
 def test_index_backends(benchmark):
-    sweep_rows, (cluster_rows, labels, seconds), (s_rows, s_labels) = (
+    sweep_rows, (cluster_rows, labels, seconds, c_series), \
+        (s_rows, s_labels, s_series) = (
         benchmark.pedantic(
             lambda: (
                 run_range_sweep(n=4000, ct_divisor=2),
@@ -181,7 +196,8 @@ def test_index_backends(benchmark):
             iterations=1,
         )
     )
-    _report(sweep_rows, cluster_rows, 4000, 16, s_rows)
+    _report(sweep_rows, cluster_rows, 4000, 16, s_rows,
+            series=c_series + s_series)
     assert np.array_equal(labels["brute"], labels["grid"])
     assert np.array_equal(s_labels["dense"], s_labels["brute"])
     assert np.array_equal(s_labels["dense"], s_labels["grid"])
@@ -199,11 +215,14 @@ def main(argv=None) -> int:
     sweep_rows = run_range_sweep(
         n=min(n, 8000), ct_divisor=2 if args.quick else 4
     )
-    cluster_rows, labels, seconds = run_clustering_comparison(n=n, dim=dim)
-    streaming_rows, streaming_labels = run_streaming_comparison(
+    cluster_rows, labels, seconds, c_series = run_clustering_comparison(
+        n=n, dim=dim
+    )
+    streaming_rows, streaming_labels, s_series = run_streaming_comparison(
         n=min(n, 8000), dim=dim
     )
-    _report(sweep_rows, cluster_rows, n, dim, streaming_rows)
+    _report(sweep_rows, cluster_rows, n, dim, streaming_rows,
+            series=c_series + s_series, quick=args.quick)
     if not all(
         np.array_equal(streaming_labels["dense"], streaming_labels[leg])
         for leg in ("brute", "grid")

@@ -8,6 +8,14 @@ the grid/micro-cluster baselines degrade with dimension; BICO holds up
 where clusters are spherical and k is known.
 """
 
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+for _p in (str(_HERE), str(_HERE.parent / "src")):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
+
 import numpy as np
 import pytest
 
@@ -15,27 +23,33 @@ from repro import MetricDataset, StreamingApproxDBSCAN
 from repro.baselines import BICO, DBStream, DStream, EvoStream
 from repro.datasets import load_dataset, make_session_stream, prefix_split
 from repro.evaluation import adjusted_mutual_information, adjusted_rand_index
+from repro.obs.recorder import series_entry
 
-from common import format_table, write_report
+from common import format_table, timed, write_bench_artifact, write_report
 
 MIN_PTS = 10
 RHO = 0.5
 
 
-def build_workloads():
+def build_workloads(quick=False):
     workloads = {}
-    for name, size, eps in [
+    batch = [
         ("moons", 900, 0.12),
         ("cancer", 500, 5.5),
         ("mnist", 600, 3.0),
         ("usps_hw", 600, 3.0),
-    ]:
+    ]
+    if quick:
+        batch = [("moons", 400, 0.12), ("cancer", 300, 5.5)]
+    for name, size, eps in batch:
         loaded = load_dataset(name, size=size, seed=0)
         workloads[name] = (loaded.dataset, loaded.labels, eps)
     stream_pts, stream_labels = make_session_stream(
-        n=4000, dim=8, n_clusters=4, drift=2.0, outlier_fraction=0.01, seed=0
+        n=1500 if quick else 4000, dim=8, n_clusters=4, drift=2.0,
+        outlier_fraction=0.01, seed=0,
     )
-    for fraction in (0.01, 0.10, 0.50, 1.00):
+    fractions = (0.10, 1.00) if quick else (0.01, 0.10, 0.50, 1.00)
+    for fraction in fractions:
         pts, labels = prefix_split(stream_pts, stream_labels, fraction)
         workloads[f"sessions {fraction:.0%}"] = (MetricDataset(pts), labels, 2.5)
     return workloads
@@ -54,14 +68,15 @@ def algorithms(eps, k_truth):
     }
 
 
-def run_comparison():
-    workloads = build_workloads()
+def run_comparison(quick=False):
+    workloads = build_workloads(quick=quick)
     rows = []
     scores = {}
+    series = []
     for ds_name, (dataset, truth, eps) in workloads.items():
         k_truth = max(1, int(len(set(int(v) for v in truth if v >= 0))))
         for algo_name, factory in algorithms(eps, k_truth).items():
-            result = factory().fit(dataset)
+            result, seconds = timed(lambda: factory().fit(dataset))
             ari = adjusted_rand_index(truth, result.labels)
             ami = adjusted_mutual_information(truth, result.labels)
             scores[(ds_name, algo_name)] = (ari, ami)
@@ -69,11 +84,14 @@ def run_comparison():
                 ds_name, algo_name, f"{ari:.3f}", f"{ami:.3f}",
                 result.stats.get("memory_points", "-"),
             ))
-    return rows, scores
+            series.append(series_entry(
+                f"{ds_name}/{algo_name}", wall=seconds, result=result,
+                ari=float(ari), ami=float(ami),
+            ))
+    return rows, scores, series
 
 
-def test_table4_streaming_comparison(benchmark):
-    rows, scores = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+def write_table4_report(rows, series=None, quick=False):
     lines = [
         f"Table 4 — streaming algorithms, ARI/AMI (rho={RHO}, MinPts={MIN_PTS})",
         "",
@@ -82,6 +100,18 @@ def test_table4_streaming_comparison(benchmark):
         ["dataset", "algorithm", "ARI", "AMI", "memory (points)"], rows
     )
     write_report("table4_streaming", lines)
+    if series:
+        write_bench_artifact(
+            "table4_streaming", series,
+            config={"rho": RHO, "min_pts": MIN_PTS, "quick": quick},
+        )
+
+
+def test_table4_streaming_comparison(benchmark):
+    rows, scores, series = benchmark.pedantic(
+        run_comparison, rounds=1, iterations=1
+    )
+    write_table4_report(rows, series)
     # Shape check: on most workloads our streaming solver is at least as
     # good as every baseline (paper: best on most test instances).
     workload_names = {r[0] for r in rows}
@@ -94,3 +124,20 @@ def test_table4_streaming_comparison(benchmark):
         ):
             wins += 1
     assert wins >= len(workload_names) // 2
+
+
+def main(argv=None):
+    """CLI entry point; ``--quick`` runs two batch stand-ins and two
+    stream prefixes so CI can emit ``BENCH_table4_streaming.json``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args(argv)
+    rows, scores, series = run_comparison(quick=args.quick)
+    write_table4_report(rows, series, quick=args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,13 +10,37 @@ data) but the qualitative shape is the reproduction target.
 
 from __future__ import annotations
 
+import sys
 import time
 from pathlib import Path
-from typing import Callable, Iterable, List, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Committed quick-mode baselines the CI gate diffs against.
+BASELINES_DIR = RESULTS_DIR / "baselines"
+
+
+def write_bench_artifact(
+    name: str,
+    series: Iterable[dict],
+    config: Optional[dict] = None,
+) -> Path:
+    """Write a flight-recorder ``BENCH_<name>.json`` artifact into
+    ``benchmarks/results/`` (see :mod:`repro.obs.recorder`)."""
+    from repro.obs import recorder
+
+    path = recorder.write_artifact(
+        name, series, config=config, directory=RESULTS_DIR
+    )
+    print(f"wrote {path}")
+    return path
 
 
 def write_report(name: str, lines: Iterable[str]) -> Path:

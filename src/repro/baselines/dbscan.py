@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.result import ClusteringResult
 from repro.index.registry import IndexSpec, build_index
 from repro.metricspace.dataset import MetricDataset
+from repro.obs.registry import CounterScope
 from repro.utils.timer import TimingBreakdown
 from repro.utils.validation import check_epsilon, check_min_pts
 
@@ -101,7 +102,8 @@ class OriginalDBSCAN:
         timings = TimingBreakdown()
         n = dataset.n
         eps = self.eps
-        evals0, blocks0 = dataset.n_cross_evals, dataset.n_cross_blocks
+        scope = CounterScope(timings, dataset=dataset)
+        scope.__enter__()
         labels = np.full(n, -1, dtype=np.int64)
         core_mask = np.zeros(n, dtype=bool)
         visited = np.zeros(n, dtype=bool)
@@ -186,10 +188,8 @@ class OriginalDBSCAN:
                         queue.extend(p_neighbors)
 
         if index is not None:
-            for counter, value in index.counters().items():
-                timings.count(counter, value)
-        timings.count("distance_evals", dataset.n_cross_evals - evals0)
-        timings.count("distance_blocks", dataset.n_cross_blocks - blocks0)
+            index.fold_counters_into(timings)
+        scope.__exit__(None, None, None)
         return ClusteringResult(
             labels=labels,
             core_mask=core_mask,

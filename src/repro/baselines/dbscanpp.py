@@ -20,6 +20,7 @@ from repro.core.result import ClusteringResult
 from repro.index.base import NeighborIndex
 from repro.index.registry import IndexSpec, build_index
 from repro.metricspace.dataset import MetricDataset
+from repro.obs.registry import CounterScope
 from repro.utils.rng import SeedLike, check_random_state
 from repro.utils.timer import TimingBreakdown
 from repro.utils.unionfind import UnionFind
@@ -76,6 +77,8 @@ class DBSCANPlusPlus:
         timings = TimingBreakdown()
         n = dataset.n
         eps = self.eps
+        scope = CounterScope(timings, dataset=dataset)
+        scope.__enter__()
         rng = check_random_state(self.seed)
         m = max(1, int(round(self.ratio * n)))
 
@@ -187,8 +190,7 @@ class DBSCANPlusPlus:
                             labels[lo + off] = comp[
                                 core_position[ids[np.argmin(dists)]]
                             ]
-                for counter, value in idx_core.counters().items():
-                    timings.count(counter, value)
+                idx_core.fold_counters_into(timings)
             elif len(core_arr) > 0:
                 for chunk, block in dataset.cross_blocks(
                     targets=core_arr, reduced=True
@@ -198,8 +200,8 @@ class DBSCANPlusPlus:
                     ok = dmin <= red_eps
                     labels[chunk[ok]] = comp[amin[ok]]
         if idx_all is not None:
-            for counter, value in idx_all.counters().items():
-                timings.count(counter, value)
+            idx_all.fold_counters_into(timings)
+        scope.__exit__(None, None, None)
 
         return ClusteringResult(
             labels=labels,

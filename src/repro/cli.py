@@ -7,7 +7,13 @@ Commands
 ``cluster``
     Generate a registered dataset and cluster it with one of the
     paper's algorithms (or the brute-force reference), printing quality
-    and run statistics.
+    and run statistics.  ``--json out.json`` additionally dumps the
+    machine-readable run record (labels summary, phases, span tree,
+    full counter registry) so service-style callers don't scrape text.
+``bench-diff``
+    Compare two recorder artifacts (``BENCH_<name>.json``) with
+    per-metric tolerance bands; exits nonzero on regressions (see
+    :mod:`repro.obs.diff`).
 
 Examples
 --------
@@ -17,11 +23,14 @@ Examples
     python -m repro cluster --dataset moons --algo exact --eps 0.12
     python -m repro cluster --dataset ag_news --algo approx --eps 9 --rho 0.5
     python -m repro cluster --dataset glove25 --algo streaming --eps 3 --size 2000
+    python -m repro cluster --dataset moons --algo approx --json run.json
+    python -m repro bench-diff baselines/BENCH_fig3.json results/BENCH_fig3.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -64,6 +73,19 @@ def build_parser() -> argparse.ArgumentParser:
                               "is the paper's Theta(n^2) reference.  For "
                               "streaming, the flag puts all three passes on "
                               "dynamic indexes over the summary stores")
+    cluster.add_argument("--json", dest="json_out", default=None,
+                         metavar="PATH",
+                         help="also write the machine-readable run record "
+                              "(labels summary, phases, trace, counter "
+                              "registry) to PATH ('-' for stdout)")
+
+    from repro.obs import diff as obs_diff
+
+    bench_diff = sub.add_parser(
+        "bench-diff",
+        help="diff two BENCH_*.json artifacts with tolerance bands",
+    )
+    obs_diff.configure_parser(bench_diff)
     return parser
 
 
@@ -74,6 +96,59 @@ def cmd_datasets() -> int:
         print(f"{name:<{width}}  {spec.category:<9} {spec.paper_n:>12,}  "
               f"{spec.note or '-'}")
     return 0
+
+
+def _write_run_record(args, eps, loaded, result, ari, ami) -> None:
+    """Dump the machine-readable run record for ``--json``."""
+    import numpy as np
+
+    from repro.obs import recorder
+
+    labels = result.labels
+    values, counts = np.unique(labels[labels >= 0], return_counts=True)
+    record = {
+        "schema_version": recorder.SCHEMA_VERSION,
+        "kind": "run",
+        "env": recorder.environment_info(),
+        "dataset": {
+            "name": args.dataset,
+            "n": int(loaded.dataset.n),
+            "category": loaded.category,
+        },
+        "algorithm": {
+            "name": args.algo,
+            "eps": float(eps),
+            "min_pts": int(args.min_pts),
+            "rho": float(args.rho),
+            "index": args.index,
+            "seed": int(args.seed),
+        },
+        "labels": {
+            "n": int(labels.size),
+            "n_clusters": int(result.n_clusters),
+            "n_noise": int(result.n_noise),
+            "cluster_sizes": {
+                str(int(v)): int(c) for v, c in zip(values, counts)
+            },
+        },
+        "quality": {"ari": float(ari), "ami": float(ami)},
+        "wall": float(result.timings.total),
+        "phases": {k: float(v) for k, v in result.timings.phases.items()},
+        "trace": result.timings.trace.as_dict(),
+        "counters": {k: int(v) for k, v in result.timings.counters.items()},
+        "counter_registry": result.timings.counter_registry(),
+        "stats": {
+            k: v
+            for k, v in result.stats.items()
+            if isinstance(v, (str, int, float, bool, type(None)))
+        },
+    }
+    text = json.dumps(record, indent=2, sort_keys=True)
+    if args.json_out == "-":
+        print(text)
+    else:
+        with open(args.json_out, "w") as fh:
+            fh.write(text + "\n")
 
 
 def cmd_cluster(args: argparse.Namespace) -> int:
@@ -95,14 +170,18 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         "dbscan": lambda: OriginalDBSCAN(eps, args.min_pts, index=args.index),
     }
     result = solvers[args.algo]().fit(loaded.dataset)
+    ari = adjusted_rand_index(loaded.labels, result.labels)
+    ami = adjusted_mutual_information(loaded.labels, result.labels)
+    if args.json_out:
+        _write_run_record(args, eps, loaded, result, ari, ami)
     print(f"dataset   : {args.dataset} (n={loaded.dataset.n}, "
           f"category={loaded.category})")
     print(f"algorithm : {args.algo} (eps={eps:g}, MinPts={args.min_pts}"
           + (f", rho={args.rho:g}" if args.algo in ("approx", "streaming") else "")
           + ")")
     print(f"result    : {result.summary()}")
-    print(f"ARI       : {adjusted_rand_index(loaded.labels, result.labels):.3f}")
-    print(f"AMI       : {adjusted_mutual_information(loaded.labels, result.labels):.3f}")
+    print(f"ARI       : {ari:.3f}")
+    print(f"AMI       : {ami:.3f}")
     if result.timings.phases:
         print("phases    :")
         for phase, seconds in result.timings.phases.items():
@@ -125,6 +204,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_datasets()
     if args.command == "cluster":
         return cmd_cluster(args)
+    if args.command == "bench-diff":
+        from repro.obs import diff as obs_diff
+
+        return obs_diff.run(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

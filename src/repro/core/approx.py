@@ -29,6 +29,7 @@ from repro.core.summary import CoreSummary, build_summary
 from repro.index.netgraph import net_neighbor_sets
 from repro.index.registry import IndexSpec
 from repro.metricspace.dataset import MetricDataset, pairs_per_slice
+from repro.obs.registry import CounterScope
 from repro.utils.timer import TimingBreakdown
 from repro.utils.unionfind import UnionFind
 from repro.utils.validation import check_epsilon, check_min_pts, check_rho
@@ -174,46 +175,55 @@ class ApproxMetricDBSCAN:
         timings = TimingBreakdown()
         eps, rho = self.eps, self.rho
         n = dataset.n
-        evals0, blocks0 = dataset.n_cross_evals, dataset.n_cross_blocks
 
-        if net is None:
-            with timings.phase("gonzalez"):
-                net = radius_guided_gonzalez(
-                    dataset, self.r_bar, eps_for_counts=eps, index=self.index
+        # Per-run counter registry: dataset eval deltas, cascade stats
+        # and metric-wrapper counters all fold into ``timings.counters``
+        # when the scope closes.
+        with CounterScope(timings, dataset=dataset):
+            if net is None:
+                with timings.phase("gonzalez"):
+                    net = radius_guided_gonzalez(
+                        dataset, self.r_bar, eps_for_counts=eps,
+                        index=self.index,
+                    )
+                    for counter, value in net.counters.items():
+                        timings.count(counter, value)
+            else:
+                if net.r_bar > rho * eps / 2.0 + 1e-12:
+                    raise ValueError(
+                        f"precomputed net has r_bar={net.r_bar} > rho*eps/2="
+                        f"{rho * eps / 2.0}; rebuild with a smaller r_bar"
+                    )
+                if net.dataset.n != n:
+                    raise ValueError(
+                        "precomputed net was built on a different dataset"
+                    )
+                timings.phases.setdefault("gonzalez", 0.0)
+
+            # Enlarged neighbor threshold (Eq. (13) generalized to any
+            # r̄ <= ρε/2): captures every summary pair within (1+ρ)ε and
+            # every point-to-summary pair within (1+ρ/2)ε.
+            with timings.phase("neighbor_sets"):
+                neighbors = net_neighbor_sets(
+                    net, 2.0 * net.r_bar + (1.0 + rho) * eps, self.index,
+                    timings,
                 )
-            for counter, value in net.counters.items():
-                timings.count(counter, value)
-        else:
-            if net.r_bar > rho * eps / 2.0 + 1e-12:
-                raise ValueError(
-                    f"precomputed net has r_bar={net.r_bar} > rho*eps/2="
-                    f"{rho * eps / 2.0}; rebuild with a smaller r_bar"
+
+            with timings.phase("build_summary"):
+                summary = build_summary(
+                    dataset, net, eps, self.min_pts, neighbors
                 )
-            if net.dataset.n != n:
-                raise ValueError("precomputed net was built on a different dataset")
-            timings.phases.setdefault("gonzalez", 0.0)
 
-        # Enlarged neighbor threshold (Eq. (13) generalized to any
-        # r̄ <= ρε/2): captures every summary pair within (1+ρ)ε and
-        # every point-to-summary pair within (1+ρ/2)ε.
-        with timings.phase("neighbor_sets"):
-            neighbors = net_neighbor_sets(
-                net, 2.0 * net.r_bar + (1.0 + rho) * eps, self.index, timings
-            )
+            with timings.phase("merge_summary"):
+                member_cluster = self._merge_summary(
+                    dataset, net, summary, neighbors
+                )
 
-        with timings.phase("build_summary"):
-            summary = build_summary(dataset, net, eps, self.min_pts, neighbors)
+            with timings.phase("label_points"):
+                labels = self._label_points(
+                    dataset, net, summary, neighbors, member_cluster
+                )
 
-        with timings.phase("merge_summary"):
-            member_cluster = self._merge_summary(dataset, net, summary, neighbors)
-
-        with timings.phase("label_points"):
-            labels = self._label_points(
-                dataset, net, summary, neighbors, member_cluster
-            )
-
-        timings.count("distance_evals", dataset.n_cross_evals - evals0)
-        timings.count("distance_blocks", dataset.n_cross_blocks - blocks0)
         return ClusteringResult(
             labels=labels,
             core_mask=summary.known_core_mask,

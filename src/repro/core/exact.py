@@ -33,6 +33,7 @@ from repro.covertree.tree import CoverTree
 from repro.index.netgraph import net_neighbor_sets
 from repro.index.registry import IndexSpec
 from repro.metricspace.dataset import MetricDataset
+from repro.obs.registry import CounterScope
 from repro.utils.timer import TimingBreakdown
 from repro.utils.unionfind import UnionFind
 from repro.utils.validation import check_epsilon, check_min_pts
@@ -147,44 +148,51 @@ class MetricDBSCAN:
         timings = TimingBreakdown()
         eps = self.eps
         n = dataset.n
-        evals0, blocks0 = dataset.n_cross_evals, dataset.n_cross_blocks
 
-        if net is None:
-            with timings.phase("gonzalez"):
-                net = radius_guided_gonzalez(dataset, self.r_bar, index=self.index)
-            for counter, value in net.counters.items():
-                timings.count(counter, value)
-        else:
-            if net.r_bar > eps / 2.0 + 1e-12:
-                raise ValueError(
-                    f"precomputed net has r_bar={net.r_bar} > eps/2={eps / 2.0}; "
-                    "rebuild with a smaller r_bar (Remark 5 requires r_bar <= eps/2)"
+        # The scope snapshots every counter source (dataset evals, the
+        # process-global cascade stats, cache/counting metric wrappers)
+        # and folds the per-run deltas into ``timings.counters`` when
+        # the run ends — one merged registry per fit.
+        with CounterScope(timings, dataset=dataset):
+            if net is None:
+                with timings.phase("gonzalez"):
+                    net = radius_guided_gonzalez(
+                        dataset, self.r_bar, index=self.index
+                    )
+                    for counter, value in net.counters.items():
+                        timings.count(counter, value)
+            else:
+                if net.r_bar > eps / 2.0 + 1e-12:
+                    raise ValueError(
+                        f"precomputed net has r_bar={net.r_bar} > eps/2={eps / 2.0}; "
+                        "rebuild with a smaller r_bar (Remark 5 requires r_bar <= eps/2)"
+                    )
+                if net.dataset.n != n:
+                    raise ValueError(
+                        "precomputed net was built on a different dataset"
+                    )
+                timings.phases.setdefault("gonzalez", 0.0)
+
+            with timings.phase("neighbor_sets"):
+                neighbors = net_neighbor_sets(
+                    net, 2.0 * net.r_bar + eps, self.index, timings
                 )
-            if net.dataset.n != n:
-                raise ValueError("precomputed net was built on a different dataset")
-            timings.phases.setdefault("gonzalez", 0.0)
+                cover = net.cover_sets()
 
-        with timings.phase("neighbor_sets"):
-            neighbors = net_neighbor_sets(
-                net, 2.0 * net.r_bar + eps, self.index, timings
-            )
-            cover = net.cover_sets()
+            with timings.phase("label_cores"):
+                core_mask = self._label_cores(dataset, net, neighbors, cover)
 
-        with timings.phase("label_cores"):
-            core_mask = self._label_cores(dataset, net, neighbors, cover)
+            with timings.phase("merge"):
+                center_cluster, core_by_center = self._merge_cores(
+                    dataset, net, neighbors, cover, core_mask
+                )
 
-        with timings.phase("merge"):
-            center_cluster, core_by_center = self._merge_cores(
-                dataset, net, neighbors, cover, core_mask
-            )
+            with timings.phase("label_borders"):
+                labels, border_memberships = self._label_all(
+                    dataset, net, neighbors, core_mask, core_by_center,
+                    center_cluster,
+                )
 
-        with timings.phase("label_borders"):
-            labels, border_memberships = self._label_all(
-                dataset, net, neighbors, core_mask, core_by_center, center_cluster
-            )
-
-        timings.count("distance_evals", dataset.n_cross_evals - evals0)
-        timings.count("distance_blocks", dataset.n_cross_blocks - blocks0)
         stats = {
             "algorithm": "our_exact",
             "eps": eps,

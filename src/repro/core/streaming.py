@@ -63,6 +63,7 @@ from repro.metricspace.dataset import (
     rows_per_block,
 )
 from repro.metricspace.euclidean import EuclideanMetric
+from repro.obs.registry import CounterScope
 from repro.utils.timer import TimingBreakdown
 from repro.utils.unionfind import UnionFind
 from repro.utils.validation import check_epsilon, check_min_pts, check_rho
@@ -197,6 +198,8 @@ class StreamingApproxDBSCAN:
         """
         timings = TimingBreakdown()
         metric = metric if metric is not None else self.metric
+        scope = CounterScope(timings, metric=metric)
+        scope.__enter__()
         eps, min_pts = self.eps, self.min_pts
         red_eps = metric.reduce_threshold(eps)
         red_r = metric.reduce_threshold(self.r_bar)
@@ -542,8 +545,19 @@ class StreamingApproxDBSCAN:
             for idx in (center_index, watch_index, summary_index):
                 if idx is None:
                     continue
-                for counter, value in idx.counters().items():
-                    timings.count(counter, value)
+                idx.fold_counters_into(timings)
+            # The index queries run their exact filters through the
+            # center/watch/summary stores, which are datasets with
+            # their own eval counters — fold them so the streaming
+            # path reports ``distance_evals`` like the batch solvers.
+            store_evals = store_blocks = 0
+            for store in (centers, watch, summary_payloads):
+                store_evals += store.n_cross_evals
+                store_blocks += store.n_cross_blocks
+            if store_evals or store_blocks:
+                timings.count("distance_evals", store_evals)
+                timings.count("distance_blocks", store_blocks)
+        scope.__exit__(None, None, None)
         return ClusteringResult(
             labels=labels,
             core_mask=None,

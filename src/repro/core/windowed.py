@@ -41,6 +41,8 @@ from repro.index.registry import IndexSpec, build_dynamic_index
 from repro.metricspace.base import Metric
 from repro.metricspace.dataset import GrowingMetricDataset, rows_per_block
 from repro.metricspace.euclidean import EuclideanMetric
+from repro.obs.registry import CounterScope
+from repro.utils.timer import TimingBreakdown
 from repro.utils.unionfind import UnionFind
 from repro.utils.validation import check_epsilon, check_min_pts, check_rho
 
@@ -142,6 +144,11 @@ class WindowedApproxDBSCAN:
         self._n_seen = 0
         self._clusters_dirty = True
         self._center_cluster: Dict[int, int] = {}
+        #: Cumulative instrumentation across the model's lifetime:
+        #: every cluster refresh records a ``refresh_clusters`` phase
+        #: with per-refresh counter deltas (store evals, index queries,
+        #: cascade stats) folded through a :class:`CounterScope`.
+        self.timings = TimingBreakdown()
 
     # ------------------------------------------------------------------
     # Online maintenance
@@ -333,6 +340,17 @@ class WindowedApproxDBSCAN:
     def _refresh_clusters(self) -> None:
         if not self._clusters_dirty:
             return
+        with self.timings.phase("refresh_clusters"), CounterScope(
+            self.timings, dataset=self._store
+        ):
+            index_before = (
+                self._index.counters() if self._index is not None else None
+            )
+            self._refresh_clusters_inner()
+            if self._index is not None:
+                self._index.fold_counters_into(self.timings, index_before)
+
+    def _refresh_clusters_inner(self) -> None:
         alive = self._alive_slots()
         core = [s for s in alive if self._centers[s].total_count >= self.min_pts]
         uf = UnionFind(len(core))

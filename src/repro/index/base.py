@@ -301,6 +301,20 @@ class NeighborIndex(ABC):
         self.n_range_queries = 0
         self.n_candidates = 0
 
+    def fold_counters_into(
+        self, timings, before: "Dict[str, int] | None" = None
+    ) -> None:
+        """Accumulate this index's counters into a
+        :class:`~repro.utils.timer.TimingBreakdown`.
+
+        With ``before`` (an earlier :meth:`counters` snapshot) only the
+        *delta* since the snapshot is folded, so one shared index can
+        attribute its queries to the phase that issued them.
+        """
+        before = before or {}
+        for counter, value in self.counters().items():
+            timings.count(counter, value - before.get(counter, 0))
+
     def __repr__(self) -> str:
         return (
             f"{type(self).__name__}(n_stored={self.n_stored}, "

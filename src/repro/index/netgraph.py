@@ -100,8 +100,14 @@ def net_neighbor_sets(
                 radius_hint=threshold,
             )
     before = index.counters()
-    neighbors = center_neighbor_sets(net, threshold, index)
     if timings is not None:
-        for counter, value in index.counters().items():
-            timings.count(counter, value - before.get(counter, 0))
+        # Nested span: the merge-graph query batch shows up as a child
+        # of whatever phase the caller has open (typically
+        # ``neighbor_sets``), with the index counter deltas attributed
+        # to it in the run trace.
+        with timings.phase("index_queries"):
+            neighbors = center_neighbor_sets(net, threshold, index)
+            index.fold_counters_into(timings, before)
+    else:
+        neighbors = center_neighbor_sets(net, threshold, index)
     return neighbors

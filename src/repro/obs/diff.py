@@ -1,0 +1,327 @@
+"""Regression diff between two recorder artifacts.
+
+``python -m repro bench-diff BASELINE.json CURRENT.json`` (or this
+module's :func:`diff_artifacts` library entry) compares two
+``BENCH_<name>.json`` artifacts series-by-series and applies
+**per-metric-class tolerance bands**:
+
+- *wall* metrics (``wall`` and every ``phases.*`` entry): a regression
+  when the current value exceeds the baseline by more than ``wall_tol``
+  (default ±25%); baselines under ``min_wall`` seconds are skipped as
+  timer noise.  ``--ignore-wall`` drops the class entirely — the right
+  setting for cross-machine CI gates.
+- *counter* metrics (``counters.*`` and other integers): exact-or-better
+  by default — any increase beyond ``counter_tol`` (relative, default 0)
+  regresses; decreases count as improvements.
+- *fraction* metrics (names containing ``fraction``, e.g. the cascade
+  ``rescue_fraction``): regression on an absolute increase beyond
+  ``fraction_tol`` (default 0.05).
+- *quality* metrics (``ari``/``ami``): regression on an absolute
+  *decrease* beyond ``quality_tol`` (default 0.05); ``speedup`` is
+  wall-derived (higher is better, ``wall_tol`` band, dropped by
+  ``--ignore-wall``).
+
+Series are matched by ``label``; a baseline series or metric missing
+from the current artifact is a coverage regression.  ``--ignore GLOB``
+(repeatable) excludes metrics by ``label.metric`` pattern, e.g.
+``--ignore '*cascade/*'`` for counters that depend on BLAS rounding.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.recorder import load_artifact
+
+#: Metric base names treated as higher-is-better with absolute bands.
+_QUALITY_KEYS = frozenset({"ari", "ami"})
+
+#: Metric base names treated as higher-is-better with the wall band.
+_HIGHER_WALL_KEYS = frozenset({"speedup"})
+
+
+@dataclass
+class Delta:
+    """One compared metric that left its tolerance band."""
+
+    series: str
+    metric: str
+    baseline: float
+    current: float
+    kind: str  # wall | counter | fraction | quality | coverage
+
+    def describe(self) -> str:
+        if self.kind == "coverage":
+            what = "missing from current artifact"
+            return f"{self.series}.{self.metric}: {what}"
+        if self.baseline:
+            ratio = self.current / self.baseline
+            rel = f" ({ratio:.2f}x)"
+        else:
+            rel = ""
+        return (
+            f"{self.series}.{self.metric} [{self.kind}]: "
+            f"{self.baseline:g} -> {self.current:g}{rel}"
+        )
+
+
+@dataclass
+class DiffResult:
+    """Outcome of one artifact comparison."""
+
+    regressions: List[Delta] = field(default_factory=list)
+    improvements: List[Delta] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+    n_compared: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def classify_metric(name: str) -> str:
+    """Tolerance class of a flattened metric name.
+
+    ``name`` is dotted (``counters.cascade/n_rescued``, ``phases.merge``,
+    ``wall``); the class keys off the path and the base name.
+    """
+    parts = name.split(".")
+    base = parts[-1].rsplit("/", 1)[-1].lower()
+    if name == "wall" or parts[0] == "phases" or base.endswith("_seconds"):
+        return "wall"
+    if "fraction" in base or "ratio" in base:
+        return "fraction"
+    if base in _QUALITY_KEYS:
+        return "quality"
+    if base in _HIGHER_WALL_KEYS:
+        return "higher_wall"
+    return "counter"
+
+
+def _flatten(entry: Dict[str, Any], prefix: str = "") -> Dict[str, float]:
+    """Numeric leaves of a series entry as ``dotted.path -> value``."""
+    out: Dict[str, float] = {}
+    for key, value in entry.items():
+        if key == "label":
+            continue
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(_flatten(value, path + "."))
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, (int, float)):
+            out[path] = float(value)
+    return out
+
+
+def _ignored(label: str, metric: str, patterns: Sequence[str]) -> bool:
+    full = f"{label}.{metric}"
+    return any(
+        fnmatch(full, pat) or fnmatch(metric, pat) for pat in patterns
+    )
+
+
+def diff_artifacts(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    wall_tol: float = 0.25,
+    counter_tol: float = 0.0,
+    fraction_tol: float = 0.05,
+    quality_tol: float = 0.05,
+    min_wall: float = 0.05,
+    ignore: Sequence[str] = (),
+    include_wall: bool = True,
+) -> DiffResult:
+    """Compare two loaded artifacts; see the module docstring for the
+    band semantics.  Both arguments are artifact dicts (see
+    :func:`repro.obs.recorder.load_artifact`)."""
+    result = DiffResult()
+    base_series = {e.get("label", ""): e for e in baseline.get("series", [])}
+    cur_series = {e.get("label", ""): e for e in current.get("series", [])}
+
+    for label, base_entry in base_series.items():
+        cur_entry = cur_series.get(label)
+        if cur_entry is None:
+            result.regressions.append(
+                Delta(label, "<series>", 0.0, 0.0, "coverage")
+            )
+            continue
+        base_metrics = _flatten(base_entry)
+        cur_metrics = _flatten(cur_entry)
+        for metric, old in sorted(base_metrics.items()):
+            if _ignored(label, metric, ignore):
+                result.skipped.append(f"{label}.{metric} (ignored)")
+                continue
+            kind = classify_metric(metric)
+            if kind in ("wall", "higher_wall") and not include_wall:
+                result.skipped.append(f"{label}.{metric} (wall ignored)")
+                continue
+            new = cur_metrics.get(metric)
+            if new is None:
+                result.regressions.append(
+                    Delta(label, metric, old, 0.0, "coverage")
+                )
+                continue
+            result.n_compared += 1
+            if kind == "wall":
+                if old < min_wall:
+                    result.skipped.append(
+                        f"{label}.{metric} (baseline under {min_wall}s)"
+                    )
+                    continue
+                if new > old * (1.0 + wall_tol):
+                    result.regressions.append(
+                        Delta(label, metric, old, new, "wall")
+                    )
+                elif new < old * (1.0 - wall_tol):
+                    result.improvements.append(
+                        Delta(label, metric, old, new, "wall")
+                    )
+            elif kind == "higher_wall":
+                if new < old * (1.0 - wall_tol):
+                    result.regressions.append(
+                        Delta(label, metric, old, new, "wall")
+                    )
+                elif new > old * (1.0 + wall_tol):
+                    result.improvements.append(
+                        Delta(label, metric, old, new, "wall")
+                    )
+            elif kind == "fraction":
+                if new - old > fraction_tol:
+                    result.regressions.append(
+                        Delta(label, metric, old, new, "fraction")
+                    )
+                elif old - new > fraction_tol:
+                    result.improvements.append(
+                        Delta(label, metric, old, new, "fraction")
+                    )
+            elif kind == "quality":
+                if old - new > quality_tol:
+                    result.regressions.append(
+                        Delta(label, metric, old, new, "quality")
+                    )
+                elif new - old > quality_tol:
+                    result.improvements.append(
+                        Delta(label, metric, old, new, "quality")
+                    )
+            else:  # counter: exact-or-better
+                if new > old * (1.0 + counter_tol):
+                    result.regressions.append(
+                        Delta(label, metric, old, new, "counter")
+                    )
+                elif new < old:
+                    result.improvements.append(
+                        Delta(label, metric, old, new, "counter")
+                    )
+
+    for label in cur_series:
+        if label not in base_series:
+            result.skipped.append(f"{label} (new series, no baseline)")
+    return result
+
+
+def format_diff(
+    result: DiffResult,
+    baseline_name: str = "baseline",
+    current_name: str = "current",
+    verbose: bool = False,
+) -> List[str]:
+    """Human-readable report lines for a :class:`DiffResult`."""
+    lines = [
+        f"bench-diff: {baseline_name} vs {current_name}",
+        f"  compared {result.n_compared} metrics; "
+        f"{len(result.regressions)} regression(s), "
+        f"{len(result.improvements)} improvement(s), "
+        f"{len(result.skipped)} skipped",
+    ]
+    if result.regressions:
+        lines.append("  REGRESSIONS:")
+        lines.extend(f"    {d.describe()}" for d in result.regressions)
+    if result.improvements:
+        lines.append("  improvements:")
+        lines.extend(f"    {d.describe()}" for d in result.improvements)
+    if verbose and result.skipped:
+        lines.append("  skipped:")
+        lines.extend(f"    {s}" for s in result.skipped)
+    lines.append("  verdict: " + ("PASS" if result.ok else "FAIL"))
+    return lines
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Install the ``bench-diff`` arguments on ``parser`` (shared by the
+    standalone entry point and the ``repro`` CLI subcommand)."""
+    parser.add_argument("baseline", help="baseline BENCH_*.json artifact")
+    parser.add_argument("current", help="current BENCH_*.json artifact")
+    parser.add_argument(
+        "--wall-tol", type=float, default=0.25,
+        help="relative wall-clock tolerance (default 0.25 = ±25%%)",
+    )
+    parser.add_argument(
+        "--counter-tol", type=float, default=0.0,
+        help="relative counter slack (default 0: exact-or-better)",
+    )
+    parser.add_argument(
+        "--fraction-tol", type=float, default=0.05,
+        help="absolute tolerance for *fraction/*ratio metrics",
+    )
+    parser.add_argument(
+        "--min-wall", type=float, default=0.05,
+        help="skip wall metrics whose baseline is below this many "
+             "seconds (timer noise)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", default=[], metavar="GLOB",
+        help="glob over 'label.metric' (or bare metric) to exclude; "
+             "repeatable",
+    )
+    parser.add_argument(
+        "--ignore-wall", action="store_true",
+        help="skip every wall-clock metric (cross-machine CI gates)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="also list skipped metrics"
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed ``bench-diff`` invocation; returns the exit
+    status (nonzero on regressions)."""
+    baseline = load_artifact(args.baseline)
+    current = load_artifact(args.current)
+    result = diff_artifacts(
+        baseline,
+        current,
+        wall_tol=args.wall_tol,
+        counter_tol=args.counter_tol,
+        fraction_tol=args.fraction_tol,
+        min_wall=args.min_wall,
+        ignore=args.ignore,
+        include_wall=not args.ignore_wall,
+    )
+    for line in format_diff(
+        result,
+        Path(args.baseline).name,
+        Path(args.current).name,
+        verbose=args.verbose,
+    ):
+        print(line)
+    return 0 if result.ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench-diff",
+        description="Diff two recorder artifacts with tolerance bands",
+    )
+    configure_parser(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""Perf flight recorder: versioned ``BENCH_<name>.json`` artifacts.
+
+Every bench (and any caller with a :class:`ClusteringResult`) can
+serialize its measurement series to a machine-readable artifact next to
+its ``.txt`` report.  The schema is versioned so ``bench-diff`` can
+refuse artifacts it does not understand:
+
+.. code-block:: json
+
+    {
+      "schema_version": 1,
+      "name": "fig3_runtime_moons",
+      "env": {"python": "...", "platform": "...", "numpy": "...",
+              "index_backend": "auto", "precision": "cascade"},
+      "config": {"quick": true},
+      "series": [
+        {"label": "eps=0.08/our_exact", "wall": 0.41,
+         "phases": {"gonzalez": 0.12, "...": 0.0},
+         "counters": {"distance_evals": 123456, "...": 0},
+         "rescue_fraction": 0.0031, "n_clusters": 2, "n_noise": 17}
+      ]
+    }
+
+``wall`` is seconds; ``counters`` is the merged counter registry of the
+run (flat keys plus ``namespace/key`` entries).  Series are matched by
+``label`` when two artifacts are diffed (:mod:`repro.obs.diff`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+#: Bump when the artifact layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Artifact filename prefix: ``BENCH_<name>.json``.
+ARTIFACT_PREFIX = "BENCH_"
+
+
+def environment_info() -> Dict[str, str]:
+    """The environment block stamped into every artifact."""
+    import platform
+
+    import numpy
+
+    from repro.metricspace.precision import precision_mode
+
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "numpy": numpy.__version__,
+        "index_backend": os.environ.get("REPRO_DEFAULT_INDEX", "auto"),
+        "precision": precision_mode(),
+    }
+
+
+def _jsonify(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays to plain JSON types."""
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonify(v) for v in value.tolist()]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value
+
+
+def series_entry(
+    label: str,
+    wall: Optional[float] = None,
+    result: Optional[Any] = None,
+    **extra: Any,
+) -> Dict[str, Any]:
+    """One measurement row for an artifact's ``series`` list.
+
+    When ``result`` (a :class:`~repro.core.result.ClusteringResult`) is
+    given, its phases, merged counter registry, label summary and —
+    when the cascade counters are present — the rescue fraction are
+    included automatically; ``wall`` defaults to the result's traced
+    phase total.
+    """
+    entry: Dict[str, Any] = {"label": str(label)}
+    if result is not None:
+        timings = result.timings
+        if wall is None:
+            wall = timings.total
+        entry["phases"] = {k: float(v) for k, v in timings.phases.items()}
+        entry["counters"] = {
+            k: int(v) for k, v in timings.counters.items()
+        }
+        certified = entry["counters"].get("cascade/n_certified")
+        rescued = entry["counters"].get("cascade/n_rescued")
+        if certified is not None and rescued is not None:
+            decided = certified + rescued
+            entry["rescue_fraction"] = (
+                rescued / decided if decided else 0.0
+            )
+        entry["n_clusters"] = int(result.n_clusters)
+        entry["n_noise"] = int(result.n_noise)
+    if wall is not None:
+        entry["wall"] = float(wall)
+    entry.update(_jsonify(extra))
+    return entry
+
+
+def make_artifact(
+    name: str,
+    series: Iterable[Dict[str, Any]],
+    config: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble an artifact dict (schema-versioned, env-stamped)."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": str(name),
+        "env": environment_info(),
+        "config": _jsonify(dict(config or {})),
+        "series": [_jsonify(dict(entry)) for entry in series],
+    }
+
+
+def artifact_path(name: str, directory: Union[str, Path, None] = None) -> Path:
+    """Where ``BENCH_<name>.json`` lives under ``directory`` (default:
+    the current working directory)."""
+    base = Path(directory) if directory is not None else Path.cwd()
+    return base / f"{ARTIFACT_PREFIX}{name}.json"
+
+
+def write_artifact(
+    name: str,
+    series: Iterable[Dict[str, Any]],
+    config: Optional[Dict[str, Any]] = None,
+    directory: Union[str, Path, None] = None,
+) -> Path:
+    """Serialize an artifact to ``BENCH_<name>.json``; returns the path."""
+    path = artifact_path(name, directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    artifact = make_artifact(name, series, config)
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_artifact(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load and validate an artifact written by :func:`write_artifact`."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or "schema_version" not in data:
+        raise ValueError(f"{path}: not a recorder artifact (no schema_version)")
+    version = data["schema_version"]
+    if not isinstance(version, int) or version < 1 or version > SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported schema_version {version!r} "
+            f"(this build reads <= {SCHEMA_VERSION})"
+        )
+    if not isinstance(data.get("series"), list):
+        raise ValueError(f"{path}: artifact has no series list")
+    return data

@@ -1,0 +1,196 @@
+"""One namespaced metrics registry over the scattered counter sources.
+
+Before this module, a run's counters lived in four unrelated places:
+``NeighborIndex.counters()`` (folded into ``TimingBreakdown`` by the
+solvers), the process-global :class:`~repro.metricspace.precision.CascadeStats`
+singleton, :class:`~repro.metricspace.precomputed.CachedMetric`'s
+hit/miss attributes, and :class:`~repro.metricspace.counting.CountingMetric`'s
+eval counts.  The globals leaked across runs: two consecutive fits saw
+each other's cascade numbers.
+
+:class:`CounterScope` gives every source **per-run snapshot/delta
+semantics**: it snapshots each source when the solver starts and folds
+only the *delta* into ``TimingBreakdown.counters`` when it finishes,
+under namespaced keys (``cascade/n_rescued``, ``cache/hits``,
+``metric/evals``) next to the legacy flat keys (``distance_evals``,
+``n_range_queries``, ...).  ``TimingBreakdown.counter_registry()``
+groups the merged map back by namespace.
+
+Process-global sources register in :data:`REGISTRY`; per-dataset
+sources (the dataset's eval counters and any counting/caching metric
+wrappers) are discovered from the scope's ``dataset``/``metric``
+arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: A snapshot function: returns the *current cumulative* value of every
+#: counter in its namespace.
+SnapshotFn = Callable[[], Dict[str, int]]
+
+#: Wrapper-chain walk guard (a metric wrapping itself would loop).
+_MAX_WRAPPER_DEPTH = 32
+
+
+class MetricsRegistry:
+    """Named counter sources with snapshot support.
+
+    Sources are zero-argument callables returning the current cumulative
+    counter values of their namespace.  The registry never resets a
+    source — :class:`CounterScope` derives per-run deltas from
+    snapshots, so process-global singletons can stay cumulative.
+    """
+
+    def __init__(self) -> None:
+        self._sources: Dict[str, SnapshotFn] = {}
+
+    def register(self, namespace: str, source: SnapshotFn) -> None:
+        """Register (or replace) the source for ``namespace``."""
+        if "/" in namespace:
+            raise ValueError(f"namespace may not contain '/': {namespace!r}")
+        self._sources[namespace] = source
+
+    def unregister(self, namespace: str) -> None:
+        self._sources.pop(namespace, None)
+
+    def namespaces(self) -> Tuple[str, ...]:
+        return tuple(self._sources)
+
+    def sources(self) -> Dict[str, SnapshotFn]:
+        """Copy of the namespace → source map."""
+        return dict(self._sources)
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Current cumulative values of every registered source."""
+        return {ns: dict(fn()) for ns, fn in self._sources.items()}
+
+
+def _cascade_snapshot() -> Dict[str, int]:
+    from repro.metricspace.precision import stats
+
+    return {
+        "n_certified": int(stats.n_certified),
+        "n_rescued": int(stats.n_rescued),
+        "n_f32_blocks": int(stats.n_f32_blocks),
+        "n_f64_blocks": int(stats.n_f64_blocks),
+    }
+
+
+#: The process-default registry; the mixed-precision cascade singleton
+#: is always on it.
+REGISTRY = MetricsRegistry()
+REGISTRY.register("cascade", _cascade_snapshot)
+
+
+def metric_sources(metric: Any) -> Dict[str, SnapshotFn]:
+    """Counter sources found on a metric's wrapper chain.
+
+    Walks ``metric.inner`` links and yields a ``cache`` source for the
+    outermost :class:`~repro.metricspace.precomputed.CachedMetric` and a
+    ``metric`` source for the outermost
+    :class:`~repro.metricspace.counting.CountingMetric`.
+    """
+    from repro.metricspace.counting import CountingMetric
+    from repro.metricspace.precomputed import CachedMetric
+
+    out: Dict[str, SnapshotFn] = {}
+    node = metric
+    for _ in range(_MAX_WRAPPER_DEPTH):
+        if node is None:
+            break
+        if isinstance(node, CountingMetric) and "metric" not in out:
+            counting = node
+            out["metric"] = lambda m=counting: {
+                "evals": int(m.count),
+                "calls": int(m.calls),
+            }
+        if isinstance(node, CachedMetric) and "cache" not in out:
+            cached = node
+            out["cache"] = lambda m=cached: {
+                "hits": int(m.hits),
+                "misses": int(m.misses),
+            }
+        node = getattr(node, "inner", None)
+    return out
+
+
+class CounterScope:
+    """Fold per-run counter deltas into a :class:`TimingBreakdown`.
+
+    Usage (every solver wraps its fit body)::
+
+        timings = TimingBreakdown()
+        with CounterScope(timings, dataset=dataset):
+            ...  # phases, index queries, cascade kernels
+
+    On exit the scope emits, for every discovered source, the delta of
+    its cumulative counters since entry:
+
+    - the dataset's batched-engine counters under the legacy flat names
+      ``distance_evals`` / ``distance_blocks``;
+    - metric-wrapper counters under ``cache/*`` and ``metric/*``;
+    - every :data:`REGISTRY` namespace (``cascade/*``) under
+      ``<namespace>/<key>``.
+
+    A source reset mid-run (e.g. a bench calling
+    ``precision.stats.reset()``) would produce a negative delta; the
+    scope then falls back to the post-reset cumulative value.
+    """
+
+    def __init__(
+        self,
+        timings: Any,
+        dataset: Optional[Any] = None,
+        metric: Optional[Any] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.timings = timings
+        self.dataset = dataset
+        self.metric = metric if metric is not None else (
+            getattr(dataset, "metric", None)
+        )
+        self.registry = registry if registry is not None else REGISTRY
+        self._sources: List[Tuple[str, SnapshotFn]] = []
+        self._before: Dict[str, int] = {}
+
+    def _collect_sources(self) -> List[Tuple[str, SnapshotFn]]:
+        sources: List[Tuple[str, SnapshotFn]] = []
+        dataset = self.dataset
+        if dataset is not None and hasattr(dataset, "n_cross_evals"):
+            sources.append(
+                (
+                    "",
+                    lambda ds=dataset: {
+                        "distance_evals": int(ds.n_cross_evals),
+                        "distance_blocks": int(ds.n_cross_blocks),
+                    },
+                )
+            )
+        if self.metric is not None:
+            for namespace, fn in metric_sources(self.metric).items():
+                sources.append((namespace + "/", fn))
+        for namespace, fn in self.registry.sources().items():
+            sources.append((namespace + "/", fn))
+        return sources
+
+    def __enter__(self) -> "CounterScope":
+        self._sources = self._collect_sources()
+        self._before = {}
+        for prefix, fn in self._sources:
+            for key, value in fn().items():
+                self._before[prefix + key] = int(value)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        for prefix, fn in self._sources:
+            for key, value in fn().items():
+                value = int(value)
+                name = prefix + key
+                delta = value - self._before.get(name, 0)
+                if delta < 0:
+                    # The source was reset mid-run; the post-reset
+                    # cumulative count is the best available estimate.
+                    delta = value
+                self.timings.count(name, delta)

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -61,6 +63,70 @@ class TestCluster:
     def test_unknown_algo_rejected(self):
         with pytest.raises(SystemExit):
             main(["cluster", "--dataset", "moons", "--algo", "kmeans"])
+
+
+class TestJsonOutput:
+    def test_writes_run_record(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        code = main([
+            "cluster", "--dataset", "moons", "--algo", "approx",
+            "--eps", "0.12", "--size", "300", "--json", str(out),
+        ])
+        assert code == 0
+        record = json.loads(out.read_text())
+        assert record["schema_version"] == 1
+        assert record["dataset"]["name"] == "moons"
+        assert record["labels"]["n"] == 300
+        assert record["labels"]["n_clusters"] >= 1
+        assert "gonzalez" in record["phases"]
+        assert record["trace"]["name"] == "run"
+        assert record["counters"]["distance_evals"] > 0
+        registry = record["counter_registry"]
+        assert set(registry) >= {"index", "tdis", "cascade"}
+        assert set(record["env"]) >= {"python", "numpy", "precision"}
+        # The human-readable summary still prints alongside the record.
+        assert "ARI" in capsys.readouterr().out
+
+    def test_dash_writes_to_stdout(self, capsys):
+        code = main([
+            "cluster", "--dataset", "moons", "--algo", "exact",
+            "--eps", "0.12", "--size", "200", "--json", "-",
+        ])
+        assert code == 0
+        assert '"schema_version"' in capsys.readouterr().out
+
+
+class TestBenchDiff:
+    @staticmethod
+    def _write(tmp_path, name, evals):
+        from repro.obs import recorder
+
+        series = [{
+            "label": "leg", "wall": 1.0,
+            "counters": {"distance_evals": evals},
+        }]
+        return recorder.write_artifact(name, series, directory=tmp_path)
+
+    def test_identical_artifacts_pass(self, tmp_path, capsys):
+        a = self._write(tmp_path, "a", 100)
+        assert main(["bench-diff", str(a), str(a)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        a = self._write(tmp_path, "a", 100)
+        b = self._write(tmp_path, "b", 150)
+        assert main(["bench-diff", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "distance_evals" in out
+
+    def test_ignore_flag_suppresses(self, tmp_path):
+        a = self._write(tmp_path, "a", 100)
+        b = self._write(tmp_path, "b", 150)
+        code = main([
+            "bench-diff", str(a), str(b), "--ignore", "*distance_evals*",
+        ])
+        assert code == 0
 
 
 def test_parser_requires_command():

@@ -87,6 +87,25 @@ class TestTimingBreakdown:
     def test_fraction_empty_is_zero(self):
         assert TimingBreakdown().fraction("anything") == 0.0
 
+    def test_nested_phases_not_double_counted(self):
+        # Regression: total used to sum the flat map, so a nested phase
+        # counted its seconds twice (once itself, once via its parent).
+        tb = TimingBreakdown()
+        with tb.phase("outer"):
+            time.sleep(0.005)
+            with tb.phase("inner"):
+                time.sleep(0.01)
+        assert tb.phases["inner"] >= 0.01
+        assert tb.phases["outer"] >= tb.phases["inner"]
+        assert tb.total == pytest.approx(tb.phases["outer"])
+        assert tb.total < tb.phases["outer"] + tb.phases["inner"]
+        # The nested phase still reports its own share of the total.
+        assert 0.0 < tb.fraction("inner") <= 1.0
+
+    def test_hand_built_breakdown_total_unchanged(self):
+        tb = TimingBreakdown({"x": 1.0, "y": 2.0})
+        assert tb.total == pytest.approx(3.0)
+
     def test_merge(self):
         a = TimingBreakdown({"x": 1.0})
         b = TimingBreakdown({"x": 2.0, "y": 3.0})

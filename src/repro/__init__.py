@@ -57,6 +57,7 @@ from repro.index import (
     NeighborIndex,
     build_index,
 )
+from repro.parallel import ShardedEngine, ShardPlan
 from repro.metricspace import (
     CosineMetric,
     CountingMetric,
@@ -95,6 +96,8 @@ __all__ = [
     "HammingMetric",
     "JaccardMetric",
     "CountingMetric",
+    "ShardPlan",
+    "ShardedEngine",
     "NeighborIndex",
     "BruteForceIndex",
     "GridIndex",

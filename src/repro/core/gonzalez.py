@@ -751,9 +751,11 @@ def radius_guided_gonzalez(
 
     counts: Optional[np.ndarray] = None
     if harvest_counts:
-        counts = _pruned_ball_counts(
-            dataset, centers_arr, center_of, true_dist, center_index,
-            position_of, eps_for_counts, track_pairs,
+        counts = pruned_ball_counts(
+            dataset, centers_arr, center_index, eps_for_counts,
+            points=np.arange(n, dtype=np.intp), assign=center_of,
+            dists=true_dist, position_of=position_of,
+            track_pairs=track_pairs,
         )
 
     # Construction instrumentation lives on the net; the index counters
@@ -784,55 +786,83 @@ def radius_guided_gonzalez(
     return net
 
 
-def _pruned_ball_counts(
+def pruned_ball_counts(
     dataset: MetricDataset,
     centers_arr: np.ndarray,
-    center_of: np.ndarray,
-    true_dist: np.ndarray,
     center_index: NeighborIndex,
-    position_of: np.ndarray,
     eps: float,
-    track_pairs,
+    *,
+    points: np.ndarray,
+    assign: np.ndarray,
+    dists: np.ndarray,
+    position_of: Optional[np.ndarray] = None,
+    track_pairs=None,
 ) -> np.ndarray:
-    """Exact ``|B(e, ε) ∩ X|`` per center via cover-set pruning.
+    """Per-center contributions ``|B(e, ε) ∩ points|`` via cover pruning.
+
+    ``points``, ``assign`` and ``dists`` are aligned arrays: for each
+    listed point, the *position* (into ``centers_arr``) of a center
+    within ``dists`` of it.  With ``points = arange(n)`` this is the
+    classical harvested ball count of Algorithm 1; the sharded engine
+    calls it per shard (each shard's points against the *merged* center
+    set) and sums the results — ``|B(e, ε) ∩ X| = Σ_s |B(e, ε) ∩ X_s|``.
 
     Two triangle-inequality facts bound the work per center pair
-    ``(k, j)`` with group radius ``g_k = max_{p∈C_k} d(p, e_k)``:
+    ``(k, j)`` with group radius ``g_k = max_{p: assign=k} d(p, e_k)``:
 
-    - ``d(e_k, e_j) > ε + g_k``  →  no point of ``C_k`` can be within ε
-      of ``e_j`` (skip the group entirely);
-    - ``d(e_k, e_j) + g_k < ε``  →  every point of ``C_k`` is within ε
-      of ``e_j`` (count the whole group without evaluating anything).
+    - ``d(e_k, e_j) > ε + g_k``  →  no point of group ``k`` can be
+      within ε of ``e_j`` (skip the group entirely);
+    - ``d(e_k, e_j) + g_k < ε``  →  every point of group ``k`` is
+      within ε of ``e_j`` (count the whole group without evaluating
+      anything).
 
-    The annulus pairs come from one range query per center against the
-    incremental center index at that center's own bound ``ε + g_k``
+    The annulus pairs come from one range query per *occupied* center
+    against ``center_index`` at that center's own bound ``ε + g_k``
     (per-query radii) — ``O(|E|·deg)`` pairs, never a dense matrix.
     Only groups in the annulus between the two bounds are evaluated,
     with the certified aligned pair kernel over the COO pair list.
     """
     m = len(centers_arr)
+    counts = np.zeros(m, dtype=np.int64)
+    points = np.asarray(points, dtype=np.intp)
+    if points.size == 0:
+        return counts
+    if position_of is None:
+        position_of = np.full(dataset.n, -1, dtype=np.int64)
+        position_of[centers_arr] = np.arange(m)
+    if track_pairs is None:
+        def track_pairs(n_pairs, bytes_per_pair=24):
+            return None
 
-    order, boundaries = _group_boundaries(center_of, m)
+    order, boundaries = _group_boundaries(assign, m)
     group_sizes = np.diff(boundaries)
     group_radius = np.zeros(m, dtype=np.float64)
-    np.maximum.at(group_radius, center_of, true_dist)
+    np.maximum.at(group_radius, assign, dists)
 
     # Row thresholds fold the group radius in.  The wholesale bound
     # keeps a strict margin so kernel rounding in a direct evaluation
     # can never disagree with the wholesale decision.
     reach_at = (eps + group_radius) * _PRUNE_SLACK
     whole_at = eps * (1.0 - 1e-12) - group_radius
-    counts = np.zeros(m, dtype=np.int64)
-    results = center_index.range_query_batch(centers_arr, reach_at)
+    # Centers with no assigned points (a shard never touches most of
+    # the merged center set) contribute nothing — skip their queries.
+    qpos = np.flatnonzero(group_sizes > 0)
+    if qpos.size == 0:
+        return counts
+    results = center_index.range_query_batch(
+        centers_arr[qpos], reach_at[qpos]
+    )
     sizes = [len(ids) for ids, _ in results]
-    ks = np.repeat(np.arange(m), sizes)
+    ks = np.repeat(qpos, sizes)
     js = position_of[np.concatenate([ids for ids, _ in results])]
-    d_kj = np.concatenate([dists for _, dists in results])
+    d_kj = np.concatenate([dists_ for _, dists_ in results])
     track_pairs(ks.size)
     whole = d_kj <= whole_at[ks]
     np.add.at(counts, js[whole], group_sizes[ks[whole]])
     ks, js = ks[~whole], js[~whole]
-    pair_point, pair_center = _expand_pairs(order, boundaries, ks, js)
+    pair_point, pair_center = _expand_pairs(
+        points[order], boundaries, ks, js
+    )
     pair_slice = pairs_per_slice(dataset)
     for lo in range(0, pair_point.size, pair_slice):
         sl = slice(lo, lo + pair_slice)

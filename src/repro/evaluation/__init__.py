@@ -11,6 +11,10 @@ from repro.evaluation.ami import (
     normalized_mutual_information,
 )
 from repro.evaluation.ari import adjusted_rand_index, rand_index
+from repro.evaluation.labels import (
+    canonical_labels,
+    labels_equivalent_up_to_relabeling,
+)
 from repro.evaluation.contingency import (
     contingency_table,
     entropy,
@@ -29,6 +33,8 @@ __all__ = [
     "adjusted_mutual_information",
     "normalized_mutual_information",
     "expected_mutual_information",
+    "canonical_labels",
+    "labels_equivalent_up_to_relabeling",
     "contingency_table",
     "entropy",
     "mutual_information",

@@ -1,0 +1,131 @@
+"""Folding worker observability into a parent run record.
+
+The sharded engine (:mod:`repro.parallel`) runs Gonzalez and the DBSCAN
+ε-phases in worker processes, each recording its own
+:class:`~repro.utils.timer.TimingBreakdown`.  The parent must end up
+with **one coherent record** — the same shape the recorder and
+``bench-diff`` already consume — so the merge is a public, tested API
+here instead of ad-hoc dict math inside the pool code:
+
+- :func:`fold_registry` — sum two counter registries key-by-key
+  (max-semantics for peak gauges like ``peak_center_matrix_bytes``);
+- :func:`merge_spans` — recursively accumulate one span tree into
+  another (seconds, call counts, counters, children);
+- :func:`fold_breakdown` — graft a worker breakdown into a parent
+  under a labelled child span (``shard[i]``) of whatever phase the
+  parent currently has open, fold the worker's flat phases in under
+  ``label/phase`` keys, and fold its counters into the parent's flat
+  counter map.
+
+Conventions the fold preserves:
+
+- the parent's ``total`` stays wall-clock accurate: grafted spans are
+  *children* of an open parent phase, and prefixed flat phases are
+  never root phases, so concurrent workers cannot sum past the wall;
+- flat counters are additive across workers (``distance_evals`` of the
+  merged record == parent-side evals + Σ per-shard evals), except for
+  peak gauges, which take the max.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from repro.obs.trace import Span
+
+#: Counters that are *peak gauges*, not additive tallies: folding takes
+#: the max instead of the sum.
+PEAK_COUNTER_KEYS: FrozenSet[str] = frozenset({"peak_center_matrix_bytes"})
+
+
+def fold_registry(
+    dst: Dict[str, int],
+    src: Dict[str, int],
+    peak_keys: FrozenSet[str] = PEAK_COUNTER_KEYS,
+) -> Dict[str, int]:
+    """Fold counter registry ``src`` into ``dst`` (in place) and return it.
+
+    Keys are summed; keys in ``peak_keys`` take the max (a peak gauge
+    across workers is the largest single-process peak, not the sum).
+    """
+    for key, value in src.items():
+        value = int(value)
+        if key in peak_keys:
+            dst[key] = max(int(dst.get(key, 0)), value)
+        else:
+            dst[key] = int(dst.get(key, 0)) + value
+    return dst
+
+
+def _accumulate(dst: Span, src: Span) -> None:
+    """Add ``src``'s own measurements (not children) into ``dst``."""
+    dst.seconds += src.seconds
+    dst.n_calls += src.n_calls
+    fold_registry(dst.counters, src.counters)
+    if src.memory:
+        if dst.memory is None:
+            dst.memory = dict(src.memory)
+        else:
+            for key, value in src.memory.items():
+                dst.memory[key] = max(int(dst.memory.get(key, 0)), int(value))
+
+
+def merge_spans(dst: Span, src: Span) -> Span:
+    """Recursively accumulate span ``src`` into ``dst`` and return ``dst``.
+
+    Seconds and call counts add, counters fold via
+    :func:`fold_registry`, children merge by name (created on first
+    use), and memory samples keep the per-key max.
+    """
+    _accumulate(dst, src)
+    for name, child in src.children.items():
+        merge_spans(dst.child(name), child)
+    return dst
+
+
+def _graft_labelled(dst: Span, src: Span, label: str) -> None:
+    """Graft ``src``'s children under ``dst`` with ``label/``-prefixed
+    span names at every depth.
+
+    Span names — not tree paths — are the identity ``RunTrace.flatten``
+    and the flat phases map aggregate by, so a worker's ``gonzalez``
+    span must land as ``shard[i]/gonzalez`` to stay distinguishable
+    from (and consistent with) the parent's own ``gonzalez`` phase.
+    """
+    for name, child in src.children.items():
+        node = dst.child(f"{label}/{name}")
+        _accumulate(node, child)
+        _graft_labelled(node, child, label)
+
+
+def fold_breakdown(parent, child, label: str) -> Span:
+    """Fold a worker ``TimingBreakdown`` into ``parent`` under ``label``.
+
+    - The worker's span tree is grafted as a child span named ``label``
+      of the parent's innermost *open* phase (or the trace root when no
+      phase is open); the span's seconds are the worker's traced
+      wall-clock, so overlapping workers appear side by side under the
+      parent phase without inflating the parent's ``total``.
+    - The worker's flat phases land in ``parent.phases`` under
+      ``f"{label}/{name}"`` (plus the worker total under ``label``
+      itself) — visible to the recorder, never root phases.
+    - The worker's counters fold into ``parent.counters`` via
+      :func:`fold_registry`.
+
+    Returns the grafted span.
+    """
+    trace = parent.trace
+    anchor = trace._stack[-1] if trace._stack else trace.root
+    node = anchor.child(label)
+    child_root = child.trace.root
+    wall = child_root.seconds if child_root.seconds > 0.0 else child.total
+    node.seconds += wall
+    node.n_calls += 1
+    fold_registry(node.counters, child.counters)
+    _graft_labelled(node, child_root, label)
+    parent.phases[label] = parent.phases.get(label, 0.0) + wall
+    for name, seconds in child.phases.items():
+        key = f"{label}/{name}"
+        parent.phases[key] = parent.phases.get(key, 0.0) + seconds
+    fold_registry(parent.counters, child.counters)
+    return node

@@ -1,0 +1,31 @@
+"""Sharded multi-core solver engine over shared-memory dataset views.
+
+Public surface:
+
+- :class:`ShardPlan` — deterministic dataset partitions (random or
+  grid-cell-aligned), each shard a zero-copy view of one shared point
+  matrix.
+- :class:`ShardedEngine` — the context manager that runs per-shard
+  Gonzalez / ε-phase tasks in a worker pool (or serially in-process)
+  and merges nets, counts, core masks, and observability records back
+  into the parent run.
+- :func:`resolve_workers` / :func:`resolve_shards` — knob resolution
+  shared by the solvers and the CLI (``workers=``, ``REPRO_WORKERS``).
+"""
+
+from repro.parallel.engine import (
+    WORKERS_ENV,
+    ShardedEngine,
+    resolve_shards,
+    resolve_workers,
+)
+from repro.parallel.sharding import MIN_SHARD_POINTS, ShardPlan
+
+__all__ = [
+    "MIN_SHARD_POINTS",
+    "WORKERS_ENV",
+    "ShardPlan",
+    "ShardedEngine",
+    "resolve_shards",
+    "resolve_workers",
+]

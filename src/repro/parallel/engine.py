@@ -1,0 +1,499 @@
+"""The sharded multi-core solver engine.
+
+:class:`ShardedEngine` runs the two heavyweight stages of the paper's
+pipeline — Algorithm-1 net construction and the DBSCAN ε-phases — per
+shard in a ``multiprocessing`` pool over shared-memory views of the
+point array, then merges the per-shard outputs back into the ordinary
+single-process data structures (:class:`~repro.core.gonzalez.GonzalezNet`,
+core masks, harvested ball counts) so everything downstream —
+``net_neighbor_sets`` merge graphs, union-find stitching, summary
+construction, border labeling — runs unchanged in the parent.
+
+Correctness: the union of per-shard Gonzalez nets is an ``r̄``-**cover**
+of the dataset (every point is within ``r̄`` of its own shard's
+centers).  It is not a packing — centers of different shards may be
+close — but every downstream lemma of the paper (Lemma 2 candidate
+sets, Lemma 5 BCP merge, Lemma 6 border labeling, the sparse-sphere
+bound of Lemma 8) uses only the cover property ``d(p, c_p) <= r̄``.
+The *exact* solver on a sharded net therefore computes the same core
+set and the same clustering as the single-shard path, up to cluster-id
+relabeling (and exact distance ties in the border argmin).  The
+*approx* solver remains a valid ρ-approximation on any ``r̄``-cover;
+its labeling is net-dependent, so cross-shard agreement is asserted as
+ARI bands rather than equivalence.
+
+Determinism contract: the merged net — and hence the labels — depends
+only on the shard *plan* (``shards``, ``shard_strategy``, seed), never
+on the number of worker processes.  ``workers=4, shards=4`` is
+bit-identical to ``workers=1, shards=4``; when ``shards`` is unset it
+defaults to ``workers``, so pin ``shards=`` explicitly to compare
+worker counts on identical output.
+
+When the pool or the shared-memory segment cannot be created (sandboxes
+without ``/dev/shm``, exotic platforms), the engine falls back to
+running the same task functions serially in-process — same results,
+recorded in the run stats as ``parallel_mode: "serial"``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.gonzalez import GonzalezNet
+from repro.index.base import NeighborIndex
+from repro.index.registry import IndexSpec, build_dynamic_index
+from repro.metricspace.dataset import MetricDataset
+from repro.obs.fold import fold_breakdown, fold_registry
+from repro.parallel import worker
+from repro.parallel.sharding import MIN_SHARD_POINTS, ShardPlan
+from repro.parallel.shm import SharedPoints
+from repro.utils.timer import TimingBreakdown
+
+#: Environment variable supplying the default worker count
+#: (an integer, or ``auto`` for the CPU count).
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Counter keys the merged net carries (summed across shards, with the
+#: peak gauge taking the max via :func:`fold_registry`).
+_NET_COUNTER_KEYS = (
+    "net_range_queries",
+    "net_candidates",
+    "net_build_evals",
+    "peak_center_matrix_bytes",
+)
+
+
+def resolve_workers(workers: Union[None, int, str] = None) -> int:
+    """Resolve a ``workers=`` knob to a concrete process count.
+
+    ``None`` defers to the ``REPRO_WORKERS`` environment variable
+    (unset → 1, the plain single-process path); ``"auto"`` uses the
+    CPU count; integers (or digit strings) pass through.
+    """
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if not env:
+            return 1
+        workers = env
+    if isinstance(workers, str):
+        text = workers.strip().lower()
+        if text == "auto":
+            return max(1, os.cpu_count() or 1)
+        try:
+            workers = int(text)
+        except ValueError:
+            raise ValueError(
+                f"workers must be a positive integer or 'auto', got {workers!r}"
+            ) from None
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def resolve_shards(
+    shards: Optional[int], workers: int, n: int
+) -> int:
+    """Effective shard count: ``shards`` (default: ``workers``), capped
+    so no shard drops below :data:`MIN_SHARD_POINTS` points — tiny
+    datasets stay on the plain path even under ``REPRO_WORKERS``."""
+    if shards is None:
+        shards = workers
+    shards = int(shards)
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return max(1, min(shards, n // MIN_SHARD_POINTS))
+
+
+def _worker_spec(spec: IndexSpec) -> Optional[str]:
+    """Index spec shipped to workers: instances/classes collapse to
+    their backend name (instances are not picklable and must not be
+    rebuilt concurrently); names and ``None`` pass through."""
+    if spec is None or isinstance(spec, str):
+        return spec
+    if isinstance(spec, NeighborIndex) or (
+        isinstance(spec, type) and issubclass(spec, NeighborIndex)
+    ):
+        return spec.name
+    raise TypeError(f"unsupported index spec {spec!r}")
+
+
+class ShardedEngine:
+    """Context manager running shard tasks over one dataset.
+
+    Usage (the solvers wrap their preprocessing in this)::
+
+        with ShardedEngine(dataset, workers=4, n_shards=4,
+                           index=spec, timings=timings) as engine:
+            net = engine.build_net(r_bar, radius_hint=...)
+            engine.harvest_ball_counts(net, eps)      # approx path
+            core = engine.label_cores(net, eps, k)    # exact path
+        stats.update(engine.stats())
+    """
+
+    def __init__(
+        self,
+        dataset: MetricDataset,
+        *,
+        workers: int,
+        n_shards: int,
+        strategy: str = "auto",
+        index: IndexSpec = None,
+        timings: Optional[TimingBreakdown] = None,
+        seed: int = 0,
+    ) -> None:
+        self.dataset = dataset
+        self.requested_workers = int(workers)
+        self.n_shards = int(n_shards)
+        self.strategy = strategy
+        self.index = index
+        self.worker_index = _worker_spec(index)
+        self.timings = timings if timings is not None else TimingBreakdown()
+        self.seed = int(seed)
+        self.plan: Optional[ShardPlan] = None
+        self.fallback_reason: Optional[str] = None
+        self._pool = None
+        self._export: Optional[SharedPoints] = None
+        self._local: Optional[MetricDataset] = None
+        self._records: Dict[int, Dict[str, int]] = {}
+        self._centers_perm: Optional[np.ndarray] = None
+        self._center_of_perm: Optional[np.ndarray] = None
+        self._dist_perm: Optional[np.ndarray] = None
+        self._shard_of_center: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def __enter__(self) -> "ShardedEngine":
+        dataset = self.dataset
+        with self.timings.phase("shard_plan"):
+            self.plan = ShardPlan.for_dataset(
+                dataset, self.n_shards, strategy=self.strategy,
+                seed=self.seed,
+            )
+            if dataset.metric.is_vector_metric:
+                permuted: object = np.asarray(dataset.points)[
+                    self.plan.permutation
+                ]
+            else:
+                permuted = [
+                    dataset.points[int(i)] for i in self.plan.permutation
+                ]
+            n_procs = min(self.requested_workers, self.plan.n_shards)
+            if n_procs > 1:
+                self._start_pool(permuted, n_procs)
+            if self._pool is None:
+                # Serial executor: the same task functions run in this
+                # process against a local permuted dataset — identical
+                # output, no pool/shm requirements.
+                self._local = MetricDataset(permuted, dataset.metric)
+        return self
+
+    def _start_pool(self, permuted, n_procs: int) -> None:
+        try:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            if self.dataset.metric.is_vector_metric:
+                self._export = SharedPoints(permuted)
+                descriptor = dict(self._export.descriptor())
+                descriptor["untrack"] = ctx.get_start_method() != "fork"
+                initializer = worker.init_shared_worker
+                initargs = (descriptor, self.dataset.metric)
+            else:
+                initializer = worker.init_payload_worker
+                initargs = (permuted, self.dataset.metric)
+            self._pool = ctx.Pool(
+                processes=n_procs, initializer=initializer,
+                initargs=initargs,
+            )
+        except (OSError, ValueError, ImportError) as exc:
+            self.fallback_reason = f"{type(exc).__name__}: {exc}"
+            if self._export is not None:
+                self._export.close()
+                self._export = None
+            self._pool = None
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._pool is not None:
+            if any(exc_info):
+                self._pool.terminate()
+            else:
+                self._pool.close()
+            self._pool.join()
+            self._pool = None
+        if self._export is not None:
+            self._export.close()
+            self._export = None
+        self._local = None
+
+    @property
+    def workers(self) -> int:
+        """Effective worker-process count (1 for the serial executor)."""
+        if self._pool is None:
+            return 1
+        return min(self.requested_workers, self.plan.n_shards)
+
+    # ------------------------------------------------------------------
+
+    def _map(self, fn, tasks: List[dict]) -> List[dict]:
+        if not tasks:
+            return []
+        if self._pool is not None:
+            return self._pool.map(fn, tasks, chunksize=1)
+        for task in tasks:
+            task["in_process"] = True
+        with worker.local_dataset(self._local):
+            return [fn(task) for task in tasks]
+
+    def _fold(self, rec: dict, extra: Optional[Dict[str, int]] = None) -> None:
+        """Fold one worker record into the parent timings and the
+        per-shard summary (``shard[i]`` span + flat counter sums)."""
+        shard = int(rec["shard"])
+        child: TimingBreakdown = rec["timings"]
+        fold_breakdown(self.timings, child, f"shard[{shard}]")
+        summary = self._records.setdefault(
+            shard, {"shard": shard, "seconds": 0.0}
+        )
+        summary["seconds"] += child.total
+        for key in ("distance_evals", "distance_blocks"):
+            summary[key] = summary.get(key, 0) + int(
+                child.counters.get(key, 0)
+            )
+        if extra:
+            summary.update(extra)
+
+    # ------------------------------------------------------------------
+    # Stage 1: per-shard Gonzalez + net merge
+
+    def build_net(
+        self, r_bar: float, radius_hint: Optional[float] = None
+    ) -> GonzalezNet:
+        """Algorithm 1 per shard, merged into one original-space net.
+
+        The merged net assigns every point to its own shard's nearest
+        center — an ``r̄``-cover (see module doc).  The parent builds
+        the merged dynamic center index (reused by the downstream
+        merge graphs exactly like the plain path) and the usual
+        ``net_*`` counters fold across shards.
+        """
+        plan = self.plan
+        tasks = [
+            {
+                "shard": s,
+                "lo": int(plan.boundaries[s]),
+                "hi": int(plan.boundaries[s + 1]),
+                "r_bar": float(r_bar),
+                "index": self.worker_index,
+            }
+            for s in range(plan.n_shards)
+        ]
+        with self.timings.phase("gonzalez"):
+            results = sorted(
+                self._map(worker.gonzalez_shard_task, tasks),
+                key=lambda rec: rec["shard"],
+            )
+            shard_m = np.array(
+                [len(rec["centers"]) for rec in results], dtype=np.int64
+            )
+            offsets = np.concatenate([[0], np.cumsum(shard_m)])
+            merged_counters: Dict[str, int] = {}
+            for s, rec in enumerate(results):
+                self._fold(
+                    rec,
+                    extra={
+                        "n_points": int(rec["n_points"]),
+                        "n_centers": int(shard_m[s]),
+                    },
+                )
+                fold_registry(
+                    merged_counters,
+                    {
+                        key: rec["timings"].counters[key]
+                        for key in _NET_COUNTER_KEYS
+                        if key in rec["timings"].counters
+                    },
+                )
+            centers_perm = np.concatenate(
+                [rec["centers"] for rec in results]
+            ).astype(np.intp)
+            center_of_perm = np.concatenate(
+                [rec["center_of"] + offsets[s]
+                 for s, rec in enumerate(results)]
+            ).astype(np.int64)
+            dist_perm = np.concatenate(
+                [rec["dist_to_center"] for rec in results]
+            ).astype(np.float64)
+
+        with self.timings.phase("merge_nets"):
+            centers = plan.permutation[centers_perm]
+            center_of = np.empty(plan.n, dtype=np.int64)
+            center_of[plan.permutation] = center_of_perm
+            dist_to_center = np.empty(plan.n, dtype=np.float64)
+            dist_to_center[plan.permutation] = dist_perm
+            hint = float(radius_hint) if radius_hint else 2.0 * float(r_bar)
+            index = build_dynamic_index(
+                self.index, self.dataset, indices=centers, radius_hint=hint
+            )
+            # Parent-side merge-index build work joins the net counters
+            # (same keys the plain path reports); the index counters
+            # restart from zero so the downstream merge graphs see
+            # clean per-phase deltas, exactly as after a plain build.
+            build_counters = {
+                {"n_range_queries": "net_range_queries",
+                 "n_candidates": "net_candidates",
+                 "n_build_evals": "net_build_evals"}.get(key, key): int(value)
+                for key, value in index.counters().items()
+            }
+            index.reset_counters()
+            fold_registry(merged_counters, build_counters)
+            for counter, value in build_counters.items():
+                self.timings.count(counter, value)
+            net = GonzalezNet(
+                dataset=self.dataset,
+                r_bar=float(r_bar),
+                centers=[int(c) for c in centers],
+                center_of=center_of,
+                dist_to_center=dist_to_center,
+                index=index,
+                counters=merged_counters,
+            )
+            position_of = np.full(plan.n, -1, dtype=np.int64)
+            position_of[centers] = np.arange(len(centers))
+            net._position_of = position_of
+
+        self._centers_perm = centers_perm
+        self._center_of_perm = center_of_perm
+        self._dist_perm = dist_perm
+        self._shard_of_center = np.repeat(
+            np.arange(plan.n_shards, dtype=np.int64), shard_m
+        )
+        return net
+
+    # ------------------------------------------------------------------
+    # Stage 2a (approx): harvested ε-ball counts
+
+    def harvest_ball_counts(self, net: GonzalezNet, eps: float) -> None:
+        """Populate ``net.ball_counts`` with exact merged-center counts.
+
+        Each shard contributes its own points' memberships to *every*
+        merged center's ε-ball (the counts decompose over the
+        partition); the per-shard vectors sum to the same exact counts
+        the plain harvest computes.
+        """
+        self._require_net()
+        plan = self.plan
+        tasks = [
+            {
+                "shard": s,
+                "lo": int(plan.boundaries[s]),
+                "hi": int(plan.boundaries[s + 1]),
+                "centers": self._centers_perm,
+                "assign": self._center_of_perm[plan.shard_slice(s)],
+                "dists": self._dist_perm[plan.shard_slice(s)],
+                "eps": float(eps),
+                "r_bar": float(net.r_bar),
+                "index": self.worker_index,
+            }
+            for s in range(plan.n_shards)
+        ]
+        with self.timings.phase("ball_counts"):
+            counts = np.zeros(len(self._centers_perm), dtype=np.int64)
+            for rec in sorted(
+                self._map(worker.ball_count_shard_task, tasks),
+                key=lambda r: r["shard"],
+            ):
+                self._fold(rec)
+                counts += rec["counts"]
+        net.ball_counts = counts
+        net.ball_counts_eps = float(eps)
+
+    # ------------------------------------------------------------------
+    # Stage 2b (exact): dense/sparse core labeling
+
+    def label_cores(
+        self,
+        net: GonzalezNet,
+        eps: float,
+        min_pts: int,
+        dense_shortcut: bool = True,
+    ) -> np.ndarray:
+        """Exact Step (1) with the ε-tests of sparse spheres sharded.
+
+        Dense spheres (``|C_e| >= MinPts``) are labeled in the parent —
+        a pure gather.  Sparse spheres are owned by the shard whose
+        Gonzalez run produced their center (cover sets are shard-local
+        by construction), and each shard tests its own spheres against
+        the merged-net candidate sets.
+        """
+        self._require_net()
+        plan = self.plan
+        m = len(self._centers_perm)
+        sizes = np.bincount(self._center_of_perm, minlength=m)
+        if dense_shortcut:
+            dense = sizes >= int(min_pts)
+        else:
+            dense = np.zeros(m, dtype=bool)
+        core_mask = np.zeros(plan.n, dtype=bool)
+        dense_members = dense[self._center_of_perm]
+        core_mask[plan.permutation[dense_members]] = True
+
+        threshold = 2.0 * float(net.r_bar) + float(eps)
+        sparse = np.flatnonzero(~dense)
+        tasks = []
+        for s in range(plan.n_shards):
+            positions = sparse[self._shard_of_center[sparse] == s]
+            if positions.size == 0:
+                continue
+            tasks.append(
+                {
+                    "shard": s,
+                    "lo": int(plan.boundaries[s]),
+                    "hi": int(plan.boundaries[s + 1]),
+                    "centers": self._centers_perm,
+                    "center_of": self._center_of_perm,
+                    "sphere_positions": positions,
+                    "eps": float(eps),
+                    "min_pts": int(min_pts),
+                    "threshold": threshold,
+                    "index": self.worker_index,
+                }
+            )
+        with self.timings.phase("label_cores"):
+            for rec in sorted(
+                self._map(worker.sparse_core_shard_task, tasks),
+                key=lambda r: r["shard"],
+            ):
+                self._fold(rec)
+                ids = rec["core_points"]
+                if ids.size:
+                    core_mask[plan.permutation[ids]] = True
+        return core_mask
+
+    # ------------------------------------------------------------------
+
+    def _require_net(self) -> None:
+        if self._centers_perm is None:
+            raise RuntimeError("build_net must run before the ε-phases")
+
+    def stats(self) -> Dict[str, object]:
+        """Run-stat summary: mode, plan shape, per-shard records."""
+        out: Dict[str, object] = {
+            "workers": self.workers,
+            "requested_workers": self.requested_workers,
+            "parallel_mode": "pool" if self.fallback_reason is None
+            and self.requested_workers > 1 else "serial",
+        }
+        if self.plan is not None:
+            out.update(self.plan.as_dict())
+        if self.fallback_reason is not None:
+            out["parallel_fallback"] = self.fallback_reason
+        out["shard_records"] = [
+            self._records[s] for s in sorted(self._records)
+        ]
+        return out

@@ -1,0 +1,245 @@
+"""Shard planning: deterministic partitions of a :class:`MetricDataset`.
+
+A :class:`ShardPlan` is a permutation of the point indices plus shard
+boundaries into the permuted order.  The sharded engine materializes
+the permuted point array **once** (into shared memory for worker
+processes); each shard is then the contiguous slice
+``permuted[lo:hi]`` — a zero-copy numpy view for float64 vector data —
+wrapped in its own ``MetricDataset`` with its own eval counters.
+
+Two strategies:
+
+- ``random`` — a seeded uniform permutation cut into near-equal
+  slices.  Works for every metric; each shard is a representative
+  subsample, so per-shard Gonzalez nets have near-identical center
+  counts (good load balance, more duplicated centers across shards).
+- ``grid`` — points are binned into uniform cells over the
+  highest-variance coordinate projection (the same lattice idea as
+  :class:`repro.index.grid.GridIndex`), and whole cells are dealt to
+  shards greedily by descending size (LPT scheduling).  Shards come
+  out spatially compact, so per-shard nets are smaller and the merged
+  center set stays close to the single-shard one.  Vector metrics
+  only; degenerate projections (zero variance) fall back to random.
+
+The plan — not the worker count — determines the merged net and
+therefore the labels: running the same plan under 1 or 8 processes is
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.metricspace.dataset import MetricDataset
+
+#: Below this many points per shard, sharding is pure overhead: the
+#: resolver caps the shard count so tiny datasets stay on one shard
+#: (and, transitively, on the plain single-process path).
+MIN_SHARD_POINTS = 64
+
+#: Grid strategy: target number of occupied cells per shard.  More
+#: cells per shard → better LPT balance; fewer → tighter locality.
+_CELLS_PER_SHARD = 8
+
+#: Grid strategy: projection width, mirroring GridIndex's default.
+_MAX_PLAN_DIMS = 3
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A partition of ``n`` points into contiguous permuted slices.
+
+    Attributes
+    ----------
+    permutation:
+        ``(n,)`` original point index of each permuted slot.
+    boundaries:
+        ``(k+1,)`` ascending slice bounds into the permuted order;
+        shard ``s`` owns permuted slots ``boundaries[s]:boundaries[s+1]``.
+    strategy:
+        The strategy that produced the plan (``"random"`` / ``"grid"``).
+    seed:
+        Seed used by the random strategy (``None`` for grid plans).
+    """
+
+    permutation: np.ndarray
+    boundaries: np.ndarray
+    strategy: str
+    seed: Optional[int] = None
+    _inverse: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        perm = np.asarray(self.permutation, dtype=np.intp)
+        bounds = np.asarray(self.boundaries, dtype=np.int64)
+        if bounds[0] != 0 or bounds[-1] != perm.size:
+            raise ValueError("boundaries must span [0, n]")
+        if np.any(np.diff(bounds) < 0):
+            raise ValueError("boundaries must be ascending")
+        object.__setattr__(self, "permutation", perm)
+        object.__setattr__(self, "boundaries", bounds)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of points covered by the plan."""
+        return int(self.permutation.size)
+
+    @property
+    def n_shards(self) -> int:
+        return int(self.boundaries.size - 1)
+
+    def shard_slice(self, s: int) -> slice:
+        """The permuted-order slice of shard ``s``."""
+        return slice(int(self.boundaries[s]), int(self.boundaries[s + 1]))
+
+    def shard_indices(self, s: int) -> np.ndarray:
+        """Original point indices of shard ``s``."""
+        return self.permutation[self.shard_slice(s)]
+
+    def shard_sizes(self) -> np.ndarray:
+        return np.diff(self.boundaries)
+
+    @property
+    def inverse(self) -> np.ndarray:
+        """Permuted slot of each original point index."""
+        if self._inverse is None:
+            inv = np.empty(self.n, dtype=np.intp)
+            inv[self.permutation] = np.arange(self.n, dtype=np.intp)
+            object.__setattr__(self, "_inverse", inv)
+        return self._inverse
+
+    def as_dict(self) -> Dict[str, object]:
+        """Scalar summary for run stats / bench series."""
+        sizes = self.shard_sizes()
+        return {
+            "shard_strategy": self.strategy,
+            "n_shards": self.n_shards,
+            "shard_min_points": int(sizes.min()) if sizes.size else 0,
+            "shard_max_points": int(sizes.max()) if sizes.size else 0,
+        }
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def random(cls, n: int, n_shards: int, seed: int = 0) -> "ShardPlan":
+        """Seeded uniform permutation cut into near-equal slices."""
+        n_shards = _check_shards(n, n_shards)
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(n).astype(np.intp)
+        bounds = np.linspace(0, n, n_shards + 1).astype(np.int64)
+        return cls(perm, bounds, "random", seed=seed)
+
+    @classmethod
+    def grid_aligned(
+        cls,
+        dataset: MetricDataset,
+        n_shards: int,
+        cell_width: Optional[float] = None,
+        seed: int = 0,
+    ) -> "ShardPlan":
+        """Cell-aligned shards over the highest-variance projection.
+
+        Bins the points into a uniform integer lattice (projection and
+        binning as in :class:`~repro.index.grid.GridIndex`), then deals
+        whole cells to shards largest-first onto the currently lightest
+        shard.  Falls back to :meth:`random` when the metric is not a
+        vector metric or the projection carries no variance.
+        """
+        n = dataset.n
+        n_shards = _check_shards(n, n_shards)
+        if not dataset.metric.is_vector_metric:
+            return cls.random(n, n_shards, seed=seed)
+        pts = np.asarray(dataset.points, dtype=np.float64)
+        if pts.ndim == 1:
+            pts = pts.reshape(-1, 1)
+        variances = pts.var(axis=0)
+        dims = np.argsort(-variances, kind="stable")[:_MAX_PLAN_DIMS]
+        dims = dims[variances[dims] > 0.0]
+        if dims.size == 0:
+            return cls.random(n, n_shards, seed=seed)
+        proj = pts[:, np.sort(dims)]
+        origin = proj.min(axis=0)
+        if cell_width is None:
+            span = proj.max(axis=0) - origin
+            per_axis = max(
+                1.0,
+                float(n_shards * _CELLS_PER_SHARD) ** (1.0 / proj.shape[1]),
+            )
+            cell_width = float(span.max()) / per_axis
+        if cell_width <= 0:
+            return cls.random(n, n_shards, seed=seed)
+        cells = np.floor((proj - origin) / cell_width).astype(np.int64)
+        uniq, inverse = np.unique(cells, axis=0, return_inverse=True)
+        inverse = inverse.reshape(-1)
+        order = np.argsort(inverse, kind="stable")
+        cell_bounds = np.searchsorted(
+            inverse[order], np.arange(len(uniq) + 1)
+        )
+        sizes = np.diff(cell_bounds)
+        # LPT deal: largest cells first onto the lightest shard; ties
+        # broken by cell id then shard id, so the plan is deterministic.
+        heap = [(0, s) for s in range(n_shards)]
+        heapq.heapify(heap)
+        members: List[List[np.ndarray]] = [[] for _ in range(n_shards)]
+        for u in np.lexsort((np.arange(len(uniq)), -sizes)):
+            load, s = heapq.heappop(heap)
+            chunk = order[cell_bounds[u] : cell_bounds[u + 1]]
+            members[s].append(chunk)
+            heapq.heappush(heap, (load + chunk.size, s))
+        parts = [
+            np.sort(np.concatenate(chunks)) if chunks
+            else np.empty(0, dtype=np.intp)
+            for chunks in members
+        ]
+        # Drop empty shards (fewer occupied cells than shards).
+        parts = [p for p in parts if p.size]
+        perm = np.concatenate(parts).astype(np.intp)
+        bounds = np.concatenate(
+            [[0], np.cumsum([p.size for p in parts])]
+        ).astype(np.int64)
+        return cls(perm, bounds, "grid")
+
+    @classmethod
+    def for_dataset(
+        cls,
+        dataset: MetricDataset,
+        n_shards: int,
+        strategy: str = "auto",
+        seed: int = 0,
+        cell_width: Optional[float] = None,
+    ) -> "ShardPlan":
+        """Build a plan with the requested (or auto-picked) strategy.
+
+        ``auto`` uses grid-aligned shards for vector metrics (compact
+        shards → smaller per-shard nets) and random shards otherwise.
+        """
+        strategy = (strategy or "auto").strip().lower()
+        if strategy == "auto":
+            strategy = (
+                "grid" if dataset.metric.is_vector_metric else "random"
+            )
+        if strategy == "grid":
+            return cls.grid_aligned(
+                dataset, n_shards, cell_width=cell_width, seed=seed
+            )
+        if strategy == "random":
+            return cls.random(dataset.n, n_shards, seed=seed)
+        raise ValueError(
+            f"unknown shard strategy {strategy!r}; "
+            "choose from 'auto', 'grid', 'random'"
+        )
+
+
+def _check_shards(n: int, n_shards: int) -> int:
+    if n < 1:
+        raise ValueError("cannot shard an empty dataset")
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    return int(min(n_shards, n))

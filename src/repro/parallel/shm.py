@@ -1,0 +1,112 @@
+"""Zero-copy point arrays over ``multiprocessing.shared_memory``.
+
+The parent exports the (permuted) float64 point matrix once; every
+worker process attaches the same segment and wraps its shard slice in
+a ``MetricDataset`` — ``np.asarray`` on a C-contiguous float64 view
+copies nothing, so worker memory stays O(shard metadata), not O(n·d).
+
+Ownership protocol:
+
+- the parent creates the segment and is the only process that ever
+  ``unlink``s it (after the pool has joined);
+- under *spawn*, each worker gets its own ``resource_tracker`` process
+  which would unlink the segment when the worker exits (CPython issue
+  gh-82300), so spawned workers deregister their attachment
+  (``descriptor["untrack"]``); under *fork* the tracker is shared and
+  attach-registrations are idempotent, so workers leave it alone —
+  deregistering there would erase the parent's own registration.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Dict, Optional
+
+import numpy as np
+
+
+class SharedPoints:
+    """A float64 point matrix exported into one shared-memory segment."""
+
+    def __init__(self, points: np.ndarray) -> None:
+        arr = np.ascontiguousarray(points, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr.reshape(-1, 1)
+        self.shape = arr.shape
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(1, arr.nbytes)
+        )
+        view = np.ndarray(self.shape, dtype=np.float64, buffer=self._shm.buf)
+        view[...] = arr
+        self._view: Optional[np.ndarray] = view
+        self._unlinked = False
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def descriptor(self) -> Dict[str, object]:
+        """Picklable attach token for worker initializers."""
+        return {"name": self.name, "shape": tuple(self.shape)}
+
+    def array(self) -> np.ndarray:
+        """The parent-side view of the exported matrix."""
+        if self._view is None:
+            raise RuntimeError("shared segment already closed")
+        return self._view
+
+    def close(self) -> None:
+        """Drop the parent mapping and unlink the segment (idempotent)."""
+        self._view = None
+        try:
+            self._shm.close()
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        if not self._unlinked:
+            self._unlinked = True
+            try:
+                self._shm.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "SharedPoints":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+#: Worker-side attachment cache: one mapping per segment per process,
+#: reused across tasks for the lifetime of the worker.
+_ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def attach_array(descriptor: Dict[str, object]) -> np.ndarray:
+    """Attach (once per process) and return the shared point matrix."""
+    name = str(descriptor["name"])
+    shape = tuple(int(s) for s in descriptor["shape"])  # type: ignore[union-attr]
+    shm = _ATTACHED.get(name)
+    if shm is None:
+        shm = shared_memory.SharedMemory(name=name)
+        if descriptor.get("untrack"):
+            # The parent owns the segment's lifetime; deregister this
+            # attachment so this worker's own resource tracker neither
+            # warns about it at exit nor unlinks it under the parent.
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker internals
+                pass
+        _ATTACHED[name] = shm
+    return np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+
+
+def release_attachments() -> None:
+    """Close every cached worker-side attachment (test hygiene)."""
+    for shm in _ATTACHED.values():
+        try:
+            shm.close()
+        except OSError:  # pragma: no cover
+            pass
+    _ATTACHED.clear()

@@ -1,0 +1,214 @@
+"""Worker-side tasks of the sharded engine.
+
+Every task function is a plain module-level function (picklable by
+``multiprocessing``) operating on the process-global *permuted*
+dataset installed by a pool initializer — either a zero-copy view over
+the shared-memory point matrix (:func:`init_shared_worker`) or a
+pickled payload list for non-vector metrics
+(:func:`init_payload_worker`).  The serial executor installs the very
+same global in the parent process via :func:`local_dataset`, so
+``workers=1`` runs the identical code path and produces bit-identical
+results.
+
+Each task records its own :class:`TimingBreakdown` inside its own
+:class:`CounterScope` and returns it (spans and counters are plain
+picklable data); the engine folds them into the parent record under
+``shard[i]`` via :func:`repro.obs.fold.fold_breakdown`.
+
+In-process (serial) tasks scope only the shard dataset's own eval
+counters: the parent run's ``CounterScope`` already observes the
+process-global sources (cascade stats, metric wrappers), and scoping
+them here too would double-count them in the folded record.  Worker
+*processes* scope everything — the parent scope cannot see their
+globals.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.core.gonzalez import (
+    _group_boundaries,
+    pruned_ball_counts,
+    radius_guided_gonzalez,
+)
+from repro.index.registry import build_index
+from repro.metricspace.dataset import MetricDataset
+from repro.obs.registry import CounterScope, MetricsRegistry
+from repro.utils.timer import TimingBreakdown
+
+#: The permuted dataset of the current process (set by an initializer
+#: or, for the serial executor, by :func:`local_dataset`).
+_DATASET: Optional[MetricDataset] = None
+
+#: Sentinel metric with no counter sources: in-process tasks pass it so
+#: the scope skips the shared metric-wrapper chain (see module doc).
+_NO_METRIC = object()
+
+#: Empty registry for in-process tasks (no cascade/global sources).
+_EMPTY_REGISTRY = MetricsRegistry()
+
+
+def init_shared_worker(descriptor: Dict[str, object], metric) -> None:
+    """Pool initializer: attach the shared point matrix (vector path)."""
+    global _DATASET
+    from repro.parallel.shm import attach_array
+
+    _DATASET = MetricDataset(attach_array(descriptor), metric)
+
+
+def init_payload_worker(payloads, metric) -> None:
+    """Pool initializer: install pickled payloads (non-vector path)."""
+    global _DATASET
+    _DATASET = MetricDataset(payloads, metric)
+
+
+@contextmanager
+def local_dataset(dataset: MetricDataset) -> Iterator[None]:
+    """Run tasks in-process against ``dataset`` (the serial executor)."""
+    global _DATASET
+    previous = _DATASET
+    _DATASET = dataset
+    try:
+        yield
+    finally:
+        _DATASET = previous
+
+
+def _dataset() -> MetricDataset:
+    if _DATASET is None:
+        raise RuntimeError(
+            "worker dataset not initialized (missing pool initializer "
+            "or local_dataset context)"
+        )
+    return _DATASET
+
+
+def _scope(timings: TimingBreakdown, shard: MetricDataset, task: dict):
+    if task.get("in_process"):
+        return CounterScope(
+            timings, dataset=shard, metric=_NO_METRIC,
+            registry=_EMPTY_REGISTRY,
+        )
+    return CounterScope(timings, dataset=shard)
+
+
+def _shard_view(lo: int, hi: int) -> MetricDataset:
+    ds = _dataset()
+    return MetricDataset(ds.points[lo:hi], ds.metric)
+
+
+def gonzalez_shard_task(task: dict) -> dict:
+    """Algorithm 1 on one shard; returns the shard net in permuted ids.
+
+    ``centers`` come back as *permuted-space* point ids (``lo`` +
+    local index); ``center_of`` / ``dist_to_center`` are the shard's
+    local arrays, which the engine offsets and scatters into the
+    merged net.
+    """
+    lo, hi = int(task["lo"]), int(task["hi"])
+    shard = _shard_view(lo, hi)
+    timings = TimingBreakdown()
+    with _scope(timings, shard, task):
+        with timings.phase("gonzalez"):
+            net = radius_guided_gonzalez(
+                shard, task["r_bar"], index=task["index"]
+            )
+            for counter, value in net.counters.items():
+                timings.count(counter, value)
+    return {
+        "shard": int(task["shard"]),
+        "centers": lo + np.asarray(net.centers, dtype=np.intp),
+        "center_of": net.center_of,
+        "dist_to_center": net.dist_to_center,
+        "n_points": hi - lo,
+        "timings": timings,
+    }
+
+
+def ball_count_shard_task(task: dict) -> dict:
+    """This shard's contributions to every merged center's ε-ball count.
+
+    Global counts decompose over the partition:
+    ``|B(e, ε) ∩ X| = Σ_s |B(e, ε) ∩ X_s|`` — each worker runs the
+    cover-pruned counter over its own points against the full merged
+    center set (through a per-worker index built by the normal auto
+    policy) and the engine sums the per-shard vectors.
+    """
+    ds = _dataset()
+    lo, hi = int(task["lo"]), int(task["hi"])
+    centers = np.asarray(task["centers"], dtype=np.intp)
+    eps = float(task["eps"])
+    timings = TimingBreakdown()
+    with _scope(timings, _shard_view(lo, hi), task):
+        with timings.phase("ball_counts"):
+            index = build_index(
+                task["index"], ds, indices=centers,
+                radius_hint=eps + float(task["r_bar"]),
+            )
+            counts = pruned_ball_counts(
+                ds, centers, index, eps,
+                points=np.arange(lo, hi, dtype=np.intp),
+                assign=np.asarray(task["assign"], dtype=np.int64),
+                dists=np.asarray(task["dists"], dtype=np.float64),
+            )
+            for counter, value in index.counters().items():
+                timings.count(counter, int(value))
+    return {"shard": int(task["shard"]), "counts": counts,
+            "timings": timings}
+
+
+def sparse_core_shard_task(task: dict) -> dict:
+    """Exact Step-(1) core tests for this shard's sparse spheres.
+
+    Shard points are assigned only to their own shard's centers, so a
+    sparse sphere's members are shard-local — but its Lemma-2
+    candidate set (cover sets of centers within ``2r̄ + ε``) spans the
+    whole merged net, so the task carries the full permuted assignment
+    and answers the center-neighbor queries against a per-worker index
+    over the merged center set.
+    """
+    ds = _dataset()
+    centers = np.asarray(task["centers"], dtype=np.intp)
+    center_of = np.asarray(task["center_of"], dtype=np.int64)
+    sphere_positions = np.asarray(task["sphere_positions"], dtype=np.int64)
+    eps = float(task["eps"])
+    min_pts = int(task["min_pts"])
+    threshold = float(task["threshold"])
+    m = len(centers)
+    timings = TimingBreakdown()
+    core_parts = []
+    with _scope(timings, _shard_view(int(task["lo"]), int(task["hi"])), task):
+        with timings.phase("label_cores"):
+            order, boundaries = _group_boundaries(center_of, m)
+            position_of = np.full(ds.n, -1, dtype=np.int64)
+            position_of[centers] = np.arange(m)
+            index = build_index(
+                task["index"], ds, indices=centers, radius_hint=threshold
+            )
+            results = index.range_query_batch(
+                centers[sphere_positions], threshold, with_distances=False
+            )
+            for pos_j, (ids, _) in zip(sphere_positions, results):
+                members = order[boundaries[pos_j] : boundaries[pos_j + 1]]
+                if members.size == 0:
+                    continue
+                nbr = position_of[ids]
+                candidates = np.concatenate(
+                    [order[boundaries[k] : boundaries[k + 1]] for k in nbr]
+                )
+                mask = ds.cross_certified(members, candidates, eps)
+                counts = np.count_nonzero(mask, axis=1)
+                core_parts.append(members[counts >= min_pts])
+            for counter, value in index.counters().items():
+                timings.count(counter, int(value))
+    core = (
+        np.concatenate(core_parts)
+        if core_parts
+        else np.empty(0, dtype=np.int64)
+    )
+    return {"shard": int(task["shard"]), "core_points": core,
+            "timings": timings}

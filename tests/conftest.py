@@ -23,6 +23,23 @@ def core_partition(labels: Sequence[int], mask: Sequence[bool]) -> Set[FrozenSet
     return {frozenset(g) for g in groups.values()}
 
 
+def assert_labels_equivalent(a: Sequence[int], b: Sequence[int]) -> None:
+    """Assert two labelings describe the same clustering up to
+    cluster-id relabeling, with a diagnostic diff on failure."""
+    from repro.evaluation import canonical_labels
+
+    ca = canonical_labels(np.asarray(a))
+    cb = canonical_labels(np.asarray(b))
+    if np.array_equal(ca, cb):
+        return
+    diff = np.flatnonzero(ca != cb)
+    raise AssertionError(
+        f"labelings differ (not a relabeling) at {diff.size} points; "
+        f"first disagreements at indices {diff[:10].tolist()}: "
+        f"{ca[diff[:10]].tolist()} vs {cb[diff[:10]].tolist()}"
+    )
+
+
 def same_cluster_pairs(labels: Sequence[int], indices: Sequence[int]) -> Set:
     """Set of index pairs co-clustered (noise never co-clusters)."""
     labels = np.asarray(labels)

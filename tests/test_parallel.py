@@ -1,0 +1,360 @@
+"""Tests for the sharded multi-core solver engine (repro.parallel)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import assert_labels_equivalent, core_partition
+from repro.core.approx import ApproxMetricDBSCAN
+from repro.core.exact import MetricDBSCAN
+from repro.datasets import make_blobs, make_moons
+from repro.evaluation import (
+    adjusted_rand_index,
+    canonical_labels,
+    labels_equivalent_up_to_relabeling,
+)
+from repro.metricspace import EditDistanceMetric, MetricDataset
+from repro.parallel import (
+    MIN_SHARD_POINTS,
+    ShardPlan,
+    ShardedEngine,
+    resolve_shards,
+    resolve_workers,
+)
+from repro.parallel.shm import SharedPoints, attach_array
+from repro.utils.timer import TimingBreakdown
+
+BACKENDS = ["auto", "brute", "grid", "covertree"]
+
+
+@pytest.fixture(scope="module")
+def blob_instance():
+    pts, _ = make_blobs(
+        n=700, n_clusters=4, dim=3, std=0.4, spread=9.0,
+        outlier_fraction=0.05, seed=13,
+    )
+    return MetricDataset(pts), 0.9, 6
+
+
+# ----------------------------------------------------------------------
+# ShardPlan
+
+
+class TestShardPlan:
+    def test_random_plan_partitions(self):
+        plan = ShardPlan.random(100, 4, seed=3)
+        assert plan.n == 100 and plan.n_shards == 4
+        assert sorted(plan.permutation.tolist()) == list(range(100))
+        assert plan.shard_sizes().sum() == 100
+        parts = [set(plan.shard_indices(s).tolist()) for s in range(4)]
+        assert set().union(*parts) == set(range(100))
+        # inverse round-trips
+        assert np.array_equal(
+            plan.permutation[plan.inverse], np.arange(100)
+        )
+
+    def test_random_plan_deterministic(self):
+        a = ShardPlan.random(64, 3, seed=5)
+        b = ShardPlan.random(64, 3, seed=5)
+        assert np.array_equal(a.permutation, b.permutation)
+        assert not np.array_equal(
+            a.permutation, ShardPlan.random(64, 3, seed=6).permutation
+        )
+
+    def test_grid_plan_partitions_and_balance(self, blob_instance):
+        ds, _, _ = blob_instance
+        plan = ShardPlan.grid_aligned(ds, 4)
+        assert plan.strategy == "grid"
+        assert sorted(plan.permutation.tolist()) == list(range(ds.n))
+        sizes = plan.shard_sizes()
+        assert sizes.sum() == ds.n
+        # LPT deal keeps shards within a reasonable band of each other.
+        assert sizes.min() >= sizes.max() * 0.25
+
+    def test_grid_plan_is_spatially_compact(self, blob_instance):
+        ds, _, _ = blob_instance
+        plan = ShardPlan.grid_aligned(ds, 4)
+        pts = np.asarray(ds.points)
+        # Per-shard bounding boxes should be smaller than the global
+        # one on average — the whole point of cell alignment.
+        global_span = float(np.prod(pts.max(0) - pts.min(0)))
+        spans = []
+        for s in range(plan.n_shards):
+            sub = pts[plan.shard_indices(s)]
+            spans.append(float(np.prod(sub.max(0) - sub.min(0))))
+        assert np.mean(spans) < global_span
+
+    def test_auto_strategy_dispatch(self, blob_instance, text_dataset):
+        ds, _, _ = blob_instance
+        assert ShardPlan.for_dataset(ds, 2).strategy == "grid"
+        text_ds, _ = text_dataset
+        assert ShardPlan.for_dataset(text_ds, 2).strategy == "random"
+        with pytest.raises(ValueError, match="unknown shard strategy"):
+            ShardPlan.for_dataset(ds, 2, strategy="zigzag")
+
+    def test_degenerate_grid_falls_back_to_random(self):
+        ds = MetricDataset(np.zeros((80, 2)))
+        assert ShardPlan.grid_aligned(ds, 2).strategy == "random"
+
+    def test_more_shards_than_points_clamped(self):
+        plan = ShardPlan.random(3, 10)
+        assert plan.n_shards == 3
+
+
+# ----------------------------------------------------------------------
+# Knob resolution
+
+
+class TestKnobs:
+    def test_resolve_workers_default_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(None) == 3
+        assert resolve_workers(2) == 2  # explicit beats env
+        monkeypatch.setenv("REPRO_WORKERS", "auto")
+        assert resolve_workers(None) >= 1
+
+    def test_resolve_workers_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            resolve_workers("many")
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+    def test_resolve_shards_caps_tiny_datasets(self):
+        assert resolve_shards(None, 4, 10 * MIN_SHARD_POINTS) == 4
+        assert resolve_shards(None, 4, MIN_SHARD_POINTS * 2) == 2
+        assert resolve_shards(None, 4, MIN_SHARD_POINTS - 1) == 1
+        assert resolve_shards(8, 2, 10 * MIN_SHARD_POINTS) == 8
+        with pytest.raises(ValueError):
+            resolve_shards(0, 2, 1000)
+
+
+# ----------------------------------------------------------------------
+# Shared memory
+
+
+class TestSharedPoints:
+    def test_round_trip_and_close(self):
+        pts = np.random.default_rng(0).normal(size=(50, 3))
+        with SharedPoints(pts) as export:
+            view = attach_array(export.descriptor())
+            assert np.array_equal(view, pts)
+            # same buffer, not a copy
+            assert export.array()[0, 0] == view[0, 0]
+        export.close()  # idempotent
+
+    def test_closed_export_raises(self):
+        export = SharedPoints(np.ones((4, 2)))
+        export.close()
+        with pytest.raises(RuntimeError):
+            export.array()
+
+
+# ----------------------------------------------------------------------
+# Engine correctness: sharded == plain
+
+
+class TestShardedExactEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("strategy", ["grid", "random"])
+    def test_matches_plain_exact(self, blob_instance, backend, strategy):
+        ds, eps, min_pts = blob_instance
+        plain = MetricDBSCAN(eps, min_pts, index=backend, workers=1).fit(ds)
+        sharded = MetricDBSCAN(
+            eps, min_pts, index=backend, workers=1, shards=3,
+            shard_strategy=strategy,
+        ).fit(ds)
+        assert np.array_equal(plain.core_mask, sharded.core_mask)
+        assert_labels_equivalent(plain.labels, sharded.labels)
+        assert core_partition(plain.labels, plain.core_mask) == (
+            core_partition(sharded.labels, sharded.core_mask)
+        )
+
+    def test_pool_matches_serial_bit_for_bit(self, blob_instance):
+        ds, eps, min_pts = blob_instance
+        serial = MetricDBSCAN(eps, min_pts, workers=1, shards=3).fit(ds)
+        pooled = MetricDBSCAN(eps, min_pts, workers=2, shards=3).fit(ds)
+        assert pooled.stats["parallel_mode"] == "pool"
+        assert serial.stats["parallel_mode"] == "serial"
+        assert np.array_equal(serial.labels, pooled.labels)
+        assert np.array_equal(serial.core_mask, pooled.core_mask)
+        # identical folded distance work regardless of executor
+        assert (
+            serial.timings.counters["distance_evals"]
+            == pooled.timings.counters["distance_evals"]
+        )
+
+    def test_no_dense_shortcut_matches(self, blob_instance):
+        ds, eps, min_pts = blob_instance
+        plain = MetricDBSCAN(
+            eps, min_pts, dense_shortcut=False, workers=1
+        ).fit(ds)
+        sharded = MetricDBSCAN(
+            eps, min_pts, dense_shortcut=False, workers=1, shards=3
+        ).fit(ds)
+        assert np.array_equal(plain.core_mask, sharded.core_mask)
+        assert_labels_equivalent(plain.labels, sharded.labels)
+
+    def test_nonvector_metric_sharded(self):
+        # Edit-distance payloads take the pickled-payload initializer
+        # path (random sharding); pool and serial must agree.
+        rng = np.random.default_rng(4)
+        alphabet = "ab"
+        strings = [
+            base + "".join(rng.choice(list(alphabet), size=2))
+            for base in ("abcdefgh", "zzzyyyxxx")
+            for _ in range(70)
+        ] + ["qqqqqqqqqqqqqqqqqqqq"]
+        ds = MetricDataset(strings, EditDistanceMetric())
+        plain = MetricDBSCAN(2.0, 3, workers=1).fit(ds)
+        serial = MetricDBSCAN(2.0, 3, workers=1, shards=2).fit(ds)
+        pooled = MetricDBSCAN(2.0, 3, workers=2, shards=2).fit(ds)
+        assert serial.stats["shard_strategy"] == "random"
+        assert_labels_equivalent(plain.labels, serial.labels)
+        assert np.array_equal(serial.labels, pooled.labels)
+
+
+class TestShardedApprox:
+    def test_pool_matches_serial_and_plain_quality(self, blob_instance):
+        ds, eps, min_pts = blob_instance
+        plain = ApproxMetricDBSCAN(eps, min_pts, workers=1).fit(ds)
+        serial = ApproxMetricDBSCAN(eps, min_pts, workers=1, shards=3).fit(ds)
+        pooled = ApproxMetricDBSCAN(eps, min_pts, workers=2, shards=3).fit(ds)
+        assert np.array_equal(serial.labels, pooled.labels)
+        # approx labels are net-dependent, so cross-net agreement is an
+        # ARI band, not an equivalence
+        assert adjusted_rand_index(plain.labels, serial.labels) >= 0.99
+
+    def test_harvested_counts_are_exact(self, blob_instance):
+        ds, eps, min_pts = blob_instance
+        timings = TimingBreakdown()
+        with ShardedEngine(
+            ds, workers=1, n_shards=3, timings=timings
+        ) as engine:
+            net = engine.build_net(0.25 * eps, radius_hint=eps)
+            engine.harvest_ball_counts(net, eps)
+        centers = np.asarray(net.centers, dtype=np.intp)
+        brute = np.count_nonzero(
+            ds.cross(centers, np.arange(ds.n)) <= eps, axis=1
+        )
+        assert np.array_equal(net.ball_counts, brute)
+        assert net.ball_count_for(eps) is not None
+
+    def test_workers_dont_change_labels_shards_do(self, blob_instance):
+        ds, eps, min_pts = blob_instance
+        with_2 = ApproxMetricDBSCAN(eps, min_pts, workers=2, shards=3).fit(ds)
+        with_1 = ApproxMetricDBSCAN(eps, min_pts, workers=1, shards=3).fit(ds)
+        assert np.array_equal(with_2.labels, with_1.labels)
+
+
+# ----------------------------------------------------------------------
+# Observability folding
+
+
+class TestShardedObservability:
+    @pytest.fixture(scope="class")
+    def sharded_result(self, blob_instance):
+        ds, eps, min_pts = blob_instance
+        return MetricDBSCAN(eps, min_pts, workers=2, shards=3).fit(ds)
+
+    def test_shard_spans_and_flat_phases(self, sharded_result):
+        timings = sharded_result.timings
+        for s in range(3):
+            assert f"shard[{s}]" in timings.phases
+            assert f"shard[{s}]/gonzalez" in timings.phases
+        # trace flatten and flat phases stay 1:1 (the repo invariant)
+        flat = timings.trace.flatten()
+        assert set(flat) == set(timings.phases)
+        for name, seconds in timings.phases.items():
+            assert flat[name] == pytest.approx(seconds)
+
+    def test_shard_phases_never_inflate_total(self, sharded_result):
+        timings = sharded_result.timings
+        assert timings.total == pytest.approx(
+            sum(timings.root_phases.values())
+        )
+        assert "shard[0]" not in timings.root_phases
+
+    def test_shard_records_in_stats(self, sharded_result):
+        records = sharded_result.stats["shard_records"]
+        assert len(records) == 3
+        for rec in records:
+            assert rec["n_points"] > 0
+            assert rec["n_centers"] > 0
+            assert rec["distance_evals"] > 0
+
+    def test_counter_sum_identity(self, blob_instance):
+        """Folded distance_evals == parent-side evals + Σ shard evals."""
+        ds, eps, min_pts = blob_instance
+        before = ds.n_cross_evals
+        result = MetricDBSCAN(eps, min_pts, workers=2, shards=3).fit(ds)
+        parent_side = ds.n_cross_evals - before
+        shard_side = sum(
+            rec["distance_evals"] for rec in result.stats["shard_records"]
+        )
+        assert result.timings.counters["distance_evals"] == (
+            parent_side + shard_side
+        )
+
+    def test_counter_registry_groups_shard_keys(self, sharded_result):
+        registry = sharded_result.timings.counter_registry()
+        assert "tdis" in registry and "index" in registry
+
+
+# ----------------------------------------------------------------------
+# Env / integration knobs
+
+
+class TestWorkerKnobs:
+    def test_env_var_engages_sharding(self, blob_instance, monkeypatch):
+        ds, eps, min_pts = blob_instance
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        result = MetricDBSCAN(eps, min_pts).fit(ds)
+        assert result.stats["workers"] == 2
+        assert result.stats["n_shards"] == 2
+
+    def test_tiny_dataset_stays_plain(self, tiny_line, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        result = MetricDBSCAN(0.5, 3).fit(tiny_line)
+        assert "parallel_mode" not in result.stats
+        assert result.n_clusters == 2
+
+    def test_precomputed_net_bypasses_sharding(self, blob_instance):
+        ds, eps, min_pts = blob_instance
+        net = MetricDBSCAN.precompute(ds, r_bar=eps / 2.0)
+        result = MetricDBSCAN(eps, min_pts, workers=2).fit(ds, net=net)
+        assert "parallel_mode" not in result.stats
+
+
+# ----------------------------------------------------------------------
+# Label equivalence helper (satellite: tested public API)
+
+
+class TestLabelEquivalence:
+    def test_canonical_form(self):
+        labels = np.array([5, 5, -1, 2, 2, 5, -7])
+        assert canonical_labels(labels).tolist() == [0, 0, -1, 1, 1, 0, -1]
+
+    def test_equivalence_accepts_relabeling(self):
+        a = np.array([0, 0, 1, 1, -1, 2])
+        b = np.array([9, 9, 4, 4, -1, 0])
+        assert labels_equivalent_up_to_relabeling(a, b)
+
+    def test_equivalence_rejects_different_partitions(self):
+        a = np.array([0, 0, 1, 1])
+        assert not labels_equivalent_up_to_relabeling(a, np.array([0, 0, 0, 1]))
+        assert not labels_equivalent_up_to_relabeling(a, np.array([0, 0, 1, -1]))
+        assert not labels_equivalent_up_to_relabeling(a, np.array([0, 0, 1]))
+
+    def test_all_noise(self):
+        assert labels_equivalent_up_to_relabeling(
+            np.array([-1, -1]), np.array([-1, -1])
+        )
+
+    def test_assert_helper_raises_with_diagnostics(self):
+        with pytest.raises(AssertionError, match="not a relabeling"):
+            assert_labels_equivalent(
+                np.array([0, 0, 1]), np.array([0, 1, 1])
+            )

@@ -1,0 +1,92 @@
+"""Scenario-parity suite: every solver mode agrees on clean scenarios.
+
+First leg of the ROADMAP's scenario-matrix item: exact, approx, and
+their sharded counterparts must tell the same story on well-separated
+blobs and moons under **every** ``REPRO_DEFAULT_INDEX`` setting —
+exact-vs-sharded-exact as a strict equivalence (the algorithm
+guarantees the same partition up to cluster-id relabeling), everything
+else as an ARI band (approx labelings are net-dependent and only
+ρ-approximation is guaranteed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import assert_labels_equivalent
+from repro.core.approx import ApproxMetricDBSCAN
+from repro.core.exact import MetricDBSCAN
+from repro.datasets import make_blobs, make_moons
+from repro.evaluation import adjusted_rand_index
+from repro.metricspace import MetricDataset
+
+BACKENDS = ["auto", "brute", "grid", "covertree"]
+
+#: Minimum pairwise agreement between any two solver modes on the
+#: clean scenarios below.
+ARI_FLOOR = 0.99
+
+
+def _scenarios():
+    blobs, _ = make_blobs(
+        n=620, n_clusters=3, dim=2, std=0.35, spread=9.0,
+        outlier_fraction=0.04, seed=21,
+    )
+    moons, _ = make_moons(n=620, noise=0.05, outlier_fraction=0.03, seed=8)
+    return [("blobs", blobs, 0.7, 6), ("moons", moons, 0.14, 6)]
+
+
+SCENARIOS = _scenarios()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize(
+    "name,pts,eps,min_pts", SCENARIOS, ids=[s[0] for s in SCENARIOS]
+)
+class TestScenarioParity:
+    def _runs(self, pts, eps, min_pts):
+        ds = MetricDataset(pts)
+        return {
+            "exact": MetricDBSCAN(eps, min_pts, workers=1).fit(ds),
+            "approx": ApproxMetricDBSCAN(eps, min_pts, workers=1).fit(ds),
+            "sharded-exact": MetricDBSCAN(
+                eps, min_pts, workers=1, shards=3
+            ).fit(ds),
+            "sharded-approx": ApproxMetricDBSCAN(
+                eps, min_pts, workers=1, shards=3
+            ).fit(ds),
+        }
+
+    def test_all_modes_agree(
+        self, monkeypatch, backend, name, pts, eps, min_pts
+    ):
+        monkeypatch.setenv("REPRO_DEFAULT_INDEX", backend)
+        runs = self._runs(pts, eps, min_pts)
+
+        # strict: sharding cannot change the exact clustering
+        assert_labels_equivalent(
+            runs["exact"].labels, runs["sharded-exact"].labels
+        )
+        assert np.array_equal(
+            runs["exact"].core_mask, runs["sharded-exact"].core_mask
+        )
+
+        names = list(runs)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                ari = adjusted_rand_index(runs[a].labels, runs[b].labels)
+                assert ari >= ARI_FLOOR, (
+                    f"{a} vs {b} on {name}/{backend}: ARI {ari:.4f} "
+                    f"< {ARI_FLOOR}"
+                )
+
+    def test_sharded_modes_report_plan(
+        self, monkeypatch, backend, name, pts, eps, min_pts
+    ):
+        monkeypatch.setenv("REPRO_DEFAULT_INDEX", backend)
+        result = MetricDBSCAN(eps, min_pts, workers=1, shards=3).fit(
+            MetricDataset(pts)
+        )
+        assert result.stats["n_shards"] == 3
+        assert result.stats["parallel_mode"] == "serial"

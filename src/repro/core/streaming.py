@@ -28,12 +28,27 @@ plots as ``(|E| + |M|)/n``).
 With ``index=`` set, the center/watch/summary stores live in
 :class:`~repro.metricspace.dataset.GrowingMetricDataset` instances and
 every full scan above becomes a range query against a dynamic
-:class:`~repro.index.base.NeighborIndex`: pass 1 probes each arrival
+:class:`~repro.index.base.NeighborIndex`: pass 1 probes each chunk
 against the center index (inserting new centers as the summary grows),
 pass 2 counts ``|B(m, ε)|`` through an index over ``M``, and pass 3
 labels through the center and summary indexes.  The labels are
 bit-identical to the dense-scan path — the index only changes which
 candidates reach the exact distance filter.
+
+The indexed passes are *epoch-batched* (PR 9): each chunk is probed
+once against the immutable chunk-start index snapshot in CSR form
+(:meth:`~repro.index.base.NeighborIndex.range_query_points_csr`), all
+candidate distances are evaluated in one flat
+``reduced_pair_distances`` call, and pass 1 then advances in epochs —
+the vectorized cumulative-count trick of the dense path applied to all
+rows up to the first new-center birth, one flat suffix-vs-new-center
+evaluation at the birth, repeat.  Per-element Python work happens only
+at center births (``O(|E|)`` times total, not ``O(n)``); pass 2's
+recount is one ``bincount`` over CSR ids per chunk and pass 3 is two
+CSR segment-argmin sweeps.  ``epoch_batched=False`` keeps the PR-3
+per-element reference path; both produce bit-identical labels and
+identical distance-eval/candidate counters (pinned by
+``tests/test_streaming_batched.py``).
 
 Implementation detail vs. the pseudo-code: a center's detected count in
 pass 1 misses points that arrived *before* the center was created, so a
@@ -53,6 +68,7 @@ import numpy as np
 
 from repro.core.result import ClusteringResult
 from repro.index.base import NeighborIndex
+from repro.index.csr import segment_argmin
 from repro.index.registry import IndexSpec, build_dynamic_index, build_index
 from repro.metricspace.base import Metric
 from repro.metricspace.dataset import (
@@ -127,6 +143,12 @@ class StreamingApproxDBSCAN:
         queries against dynamic indexes over the summary stores
         instead of dense scans; labels are identical either way.
         ``None`` (default) keeps the dense chunk-vectorized path.
+    epoch_batched:
+        Indexed-path ingestion mode (ignored without ``index=``).
+        ``True`` (default) consumes each chunk's CSR probe result in
+        vectorized epochs — per-element work only at center births.
+        ``False`` keeps the per-element reference loop; labels and
+        distance-eval counters are identical, only wall time differs.
 
     Examples
     --------
@@ -146,6 +168,7 @@ class StreamingApproxDBSCAN:
         rho: float = 0.5,
         metric: Optional[Metric] = None,
         index: IndexSpec = None,
+        epoch_batched: bool = True,
     ) -> None:
         self.eps = check_epsilon(eps)
         self.min_pts = check_min_pts(min_pts)
@@ -153,6 +176,7 @@ class StreamingApproxDBSCAN:
         self.r_bar = self.rho * self.eps / 2.0
         self.metric = metric if metric is not None else EuclideanMetric()
         self.index = index
+        self.epoch_batched = bool(epoch_batched)
 
     # ------------------------------------------------------------------
 
@@ -212,7 +236,6 @@ class StreamingApproxDBSCAN:
         watch = GrowingMetricDataset(metric)  # the set M
         watch_center: List[int] = []  # arrival-time center of each M entry
         watch_is_center: List[bool] = []
-        center_watch_pos: List[int] = []  # center -> its own M position
         n_seen = 0
         center_index: Optional[NeighborIndex] = None
         # Pass-1 probes must see every center that could (a) collect an
@@ -260,10 +283,9 @@ class StreamingApproxDBSCAN:
             if nearest_red > red_r:
                 j = centers.append(payload)
                 detected.append(1)  # the center counts itself
-                pos = watch.append(payload)
+                watch.append(payload)
                 watch_center.append(j)
                 watch_is_center.append(True)
-                center_watch_pos.append(pos)
             elif detected.view()[nearest] < min_pts:
                 watch.append(payload)
                 watch_center.append(nearest)
@@ -289,10 +311,9 @@ class StreamingApproxDBSCAN:
             if nearest_red > red_r:
                 j = centers.append(payload)
                 detected.append(1)  # the center counts itself
-                pos = watch.append(payload)
+                watch.append(payload)
                 watch_center.append(j)
                 watch_is_center.append(True)
-                center_watch_pos.append(pos)
                 return j
             if det[nearest] < min_pts:
                 watch.append(payload)
@@ -300,35 +321,188 @@ class StreamingApproxDBSCAN:
                 watch_is_center.append(False)
             return None
 
+        is_vector = metric.is_vector_metric
+
+        def _expand_rows(payloads, rows_rep: np.ndarray):
+            """Repeat query payloads along a CSR row-index expansion so
+            one flat ``reduced_pair_distances`` call covers every
+            (query, candidate) pair of a chunk."""
+            if is_vector:
+                return np.asarray(payloads)[rows_rep]
+            return [payloads[int(r)] for r in rows_rep]
+
+        def _pass1_epoch_chunk(chunk: List[Any]) -> List[int]:
+            """Epoch-batched pass-1 step over one chunk.
+
+            One CSR probe against the chunk-start index snapshot, one
+            flat evaluation of every (row, snapshot candidate) pair,
+            then epochs: all rows up to the first net violation are
+            decided with the dense path's inclusive cumulative-count
+            trick (here in sparse form over the CSR hits), the violator
+            becomes a center, and only the remaining suffix is
+            evaluated against that one new center — so the total pair
+            evaluations, the candidate sets and every argmin
+            tie-break match the per-element ``_observe_candidates``
+            loop exactly, while Python-level work is O(#births).
+
+            Returns the ids of centers created inside the chunk.
+            """
+            n = len(chunk)
+            m0 = len(centers)
+            if m0:
+                csr = center_index.range_query_points_csr(
+                    chunk, probe_radius, with_distances=False
+                )
+                offsets, snap_ids = csr.offsets, csr.ids
+            else:
+                offsets = np.zeros(n + 1, dtype=np.intp)
+                snap_ids = np.empty(0, dtype=np.intp)
+            counts = np.diff(offsets)
+            rows_rep = np.repeat(np.arange(n, dtype=np.intp), counts)
+            if snap_ids.size:
+                snap_red = np.asarray(
+                    metric.reduced_pair_distances(
+                        _expand_rows(chunk, rows_rep), centers.gather(snap_ids)
+                    ),
+                    dtype=np.float64,
+                )
+            else:
+                snap_red = np.empty(0, dtype=np.float64)
+            within_snap = snap_red <= red_eps
+            # Running per-row best (reduced distance, candidate id) —
+            # snapshot argmin first, then each new center folds in with
+            # a strict ``<`` so earlier candidates win ties, exactly
+            # like argmin over [snapshot..., fresh...] concatenation.
+            arg, best_red = segment_argmin(snap_red, offsets)
+            best_cand = np.full(n, -1, dtype=np.intp)
+            has = arg >= 0
+            best_cand[has] = snap_ids[arg[has]]
+            chunk_arr = np.asarray(chunk) if is_vector else None
+
+            fresh: List[int] = []  # centers created mid-chunk
+            birth_rows: List[int] = []
+            # Flat (row, center) ε-hit pairs: the snapshot block up
+            # front, one tail block appended per birth.  Kept as parts
+            # and concatenated once — never rescanned per epoch, so the
+            # loop below stays O(#births) numpy calls even when nearly
+            # every arrival births a center (heavy-drift streams).
+            hit_rows_parts: List[np.ndarray] = [rows_rep[within_snap]]
+            hit_cand_parts: List[np.ndarray] = [snap_ids[within_snap]]
+            s = 0
+            while s < n:
+                viol = np.flatnonzero(best_red[s:] > red_r)
+                if not viol.size:
+                    break
+                e = s + int(viol[0])  # birth row
+                j = centers.append(chunk[e])
+                detected.append(1)  # the center counts itself
+                fresh.append(j)
+                birth_rows.append(e)
+                if e + 1 < n:
+                    tail = (
+                        chunk_arr[e + 1 :] if is_vector else chunk[e + 1 :]
+                    )
+                    tail_red = np.asarray(
+                        metric.reduced_distance_many(chunk[e], tail),
+                        dtype=np.float64,
+                    )
+                    better = tail_red < best_red[e + 1 :]
+                    best_red[e + 1 :][better] = tail_red[better]
+                    best_cand[e + 1 :][better] = j
+                    hr = np.flatnonzero(tail_red <= red_eps)
+                    if hr.size:
+                        hit_rows_parts.append(hr + (e + 1))
+                        hit_cand_parts.append(
+                            np.full(hr.size, j, dtype=np.intp)
+                        )
+                s = e + 1
+
+            # Watch decisions, deferred to one global computation: the
+            # per-element inclusive arrival-time count for row ``r`` is
+            # the chunk-start detected count of its nearest center plus
+            # that center's ε-hits from chunk rows ``<= r`` — a quantity
+            # independent of the epoch structure, so one sorted
+            # (center, row) key array and two searchsorteds decide every
+            # row at once (the sparse analogue of the dense path's
+            # cumulative-count trick).  ``det`` here already carries the
+            # fresh centers' self-counts (appended above) but none of
+            # this chunk's hits — exactly the chunk-start state.
+            hit_rows = np.concatenate(hit_rows_parts)
+            hit_cand = np.concatenate(hit_cand_parts)
+            det = detected.view()
+            is_birth = np.zeros(n, dtype=bool)
+            is_birth[birth_rows] = True
+            rows_idx = np.flatnonzero(~is_birth)
+            watch_rows: np.ndarray
+            if rows_idx.size:
+                nearest = best_cand[rows_idx]
+                keys = np.sort(hit_cand * (n + 1) + hit_rows)
+                base = nearest * (n + 1)
+                incl = det[nearest] + (
+                    np.searchsorted(keys, base + rows_idx, side="right")
+                    - np.searchsorted(keys, base, side="left")
+                )
+                watch_rows = rows_idx[incl < min_pts]
+            else:
+                nearest = watch_rows = np.empty(0, dtype=np.intp)
+            if hit_cand.size:
+                det += np.bincount(hit_cand, minlength=det.shape[0])
+
+            # Replay the appends in arrival order so watch positions
+            # match the per-element loop exactly (summary ids, merge
+            # order and final cluster ids all follow from them).
+            nearest_list = best_cand.tolist()
+            wlist = watch_rows.tolist()
+            wi = 0
+            for e, j in zip(birth_rows, fresh):
+                while wi < len(wlist) and wlist[wi] < e:
+                    r = wlist[wi]
+                    watch.append(chunk[r])
+                    watch_center.append(nearest_list[r])
+                    watch_is_center.append(False)
+                    wi += 1
+                watch.append(chunk[e])
+                watch_center.append(j)
+                watch_is_center.append(True)
+            for r in wlist[wi:]:
+                watch.append(chunk[r])
+                watch_center.append(nearest_list[r])
+                watch_is_center.append(False)
+            return fresh
+
         with timings.phase("pass1_build_net"):
             if use_index:
+                epoch = self.epoch_batched
                 for chunk in _stream_chunks(
                     stream_factory(), lambda: rows_per_block(max(1, len(centers)))
                 ):
                     n_seen += len(chunk)
                     m0 = len(centers)
-                    snapshot = (
-                        center_index.range_query_points(
-                            chunk, probe_radius, with_distances=False
+                    if epoch:
+                        fresh = _pass1_epoch_chunk(chunk)
+                    else:
+                        snapshot = (
+                            center_index.range_query_points(
+                                chunk, probe_radius, with_distances=False
+                            )
+                            if m0
+                            else None
                         )
-                        if m0
-                        else None
-                    )
-                    fresh: List[int] = []  # centers created mid-chunk
-                    for i, payload in enumerate(chunk):
-                        parts = []
-                        if snapshot is not None:
-                            parts.append(snapshot[i][0])
-                        if fresh:
-                            parts.append(np.asarray(fresh, dtype=np.intp))
-                        cand = (
-                            np.concatenate(parts)
-                            if parts
-                            else np.empty(0, dtype=np.intp)
-                        )
-                        j = _observe_candidates(payload, cand)
-                        if j is not None:
-                            fresh.append(j)
+                        fresh = []  # centers created mid-chunk
+                        for i, payload in enumerate(chunk):
+                            parts = []
+                            if snapshot is not None:
+                                parts.append(snapshot[i][0])
+                            if fresh:
+                                parts.append(np.asarray(fresh, dtype=np.intp))
+                            cand = (
+                                np.concatenate(parts)
+                                if parts
+                                else np.empty(0, dtype=np.intp)
+                            )
+                            j = _observe_candidates(payload, cand)
+                            if j is not None:
+                                fresh.append(j)
                     if fresh:
                         if center_index is None:
                             center_index = build_dynamic_index(
@@ -387,13 +561,25 @@ class StreamingApproxDBSCAN:
                     watch_index = build_index(
                         _index_spec(), watch, radius_hint=eps
                     )
-                    for chunk in _stream_chunks(
-                        stream_factory(), lambda: rows_per_block(len(watch))
-                    ):
-                        for ids, _ in watch_index.range_query_points(
-                            chunk, eps, with_distances=False
+                    if self.epoch_batched:
+                        for chunk in _stream_chunks(
+                            stream_factory(), lambda: rows_per_block(len(watch))
                         ):
-                            exact_counts[ids] += 1
+                            csr = watch_index.range_query_points_csr(
+                                chunk, eps, with_distances=False
+                            )
+                            if csr.ids.size:
+                                exact_counts += np.bincount(
+                                    csr.ids, minlength=len(watch)
+                                )
+                    else:
+                        for chunk in _stream_chunks(
+                            stream_factory(), lambda: rows_per_block(len(watch))
+                        ):
+                            for ids, _ in watch_index.range_query_points(
+                                chunk, eps, with_distances=False
+                            ):
+                                exact_counts[ids] += 1
                 else:
                     watch_view = watch.view()
                     for chunk in _stream_chunks(
@@ -463,7 +649,64 @@ class StreamingApproxDBSCAN:
                 if offset + len(chunk) > n_seen:
                     raise ValueError("stream grew between passes")
                 chunk_labels = np.full(len(chunk), -1, dtype=np.int64)
-                if use_index:
+                if use_index and self.epoch_batched:
+                    # Fast path, CSR form: one probe + one flat pair
+                    # evaluation + one segment argmin per chunk; rows
+                    # whose nearest in-r̄ center is not core fall to an
+                    # identical CSR sweep over the summary index.
+                    if center_index is not None:
+                        csr = center_index.range_query_points_csr(
+                            chunk, self.r_bar, with_distances=False
+                        )
+                        red_flat = (
+                            np.asarray(
+                                metric.reduced_pair_distances(
+                                    _expand_rows(chunk, csr.query_rows()),
+                                    centers.gather(csr.ids),
+                                ),
+                                dtype=np.float64,
+                            )
+                            if csr.ids.size
+                            else np.empty(0, dtype=np.float64)
+                        )
+                        arg, _unused = segment_argmin(red_flat, csr.offsets)
+                        covered = np.flatnonzero(arg >= 0)
+                        nearest = csr.ids[arg[covered]]
+                        core_ok = center_is_core[nearest]
+                        fast_rows = covered[core_ok]
+                        chunk_labels[fast_rows] = member_cluster[
+                            center_summary_pos[nearest[core_ok]]
+                        ]
+                        fast_mask = np.zeros(len(chunk), dtype=bool)
+                        fast_mask[fast_rows] = True
+                        rest_rows = np.flatnonzero(~fast_mask)
+                    else:
+                        rest_rows = np.arange(len(chunk), dtype=np.intp)
+                    if rest_rows.size and summary_index is not None:
+                        rest_payloads = [chunk[int(i)] for i in rest_rows]
+                        scsr = summary_index.range_query_points_csr(
+                            rest_payloads, fallback_radius,
+                            with_distances=False,
+                        )
+                        sred = (
+                            np.asarray(
+                                metric.reduced_pair_distances(
+                                    _expand_rows(
+                                        rest_payloads, scsr.query_rows()
+                                    ),
+                                    summary_payloads.gather(scsr.ids),
+                                ),
+                                dtype=np.float64,
+                            )
+                            if scsr.ids.size
+                            else np.empty(0, dtype=np.float64)
+                        )
+                        sarg, _unused = segment_argmin(sred, scsr.offsets)
+                        shas = np.flatnonzero(sarg >= 0)
+                        chunk_labels[rest_rows[shas]] = member_cluster[
+                            scsr.ids[sarg[shas]]
+                        ]
+                elif use_index:
                     # Fast path: the nearest center, provided it covers
                     # the point within r̄ — every such center is a hit
                     # of the r̄-range query, so the in-radius argmin is
@@ -542,6 +785,9 @@ class StreamingApproxDBSCAN:
             stats["index_backend"] = (
                 center_index.name if center_index is not None else None
             )
+            stats["ingest_mode"] = (
+                "epoch" if self.epoch_batched else "per-element"
+            )
             for idx in (center_index, watch_index, summary_index):
                 if idx is None:
                     continue
@@ -611,16 +857,18 @@ class StreamingApproxDBSCAN:
         the identical edge set (and therefore identical components)."""
         size = len(summary)
         uf = UnionFind(size)
-        results = index.range_query_batch(
+        csr = index.range_query_batch_csr(
             np.arange(size, dtype=np.intp),
             (1.0 + self.rho) * self.eps,
             with_distances=False,
         )
-        n_pairs = sum(len(ids) for ids, _ in results)
         if timings is not None:
-            timings.count("peak_center_matrix_bytes", 16 * n_pairs)
-        for i, (ids, _) in enumerate(results):
-            for j in ids[ids > i]:
-                uf.union(int(i), int(j))
+            timings.count("peak_center_matrix_bytes", 16 * int(csr.ids.size))
+        # Upper-triangle edges straight from the flat CSR arrays — the
+        # same edge set the per-row loop produced, assembled without
+        # touching Python per row.
+        rows = csr.query_rows()
+        upper = csr.ids > rows
+        uf.union_edges(rows[upper], csr.ids[upper])
         labels_map = uf.component_labels(range(size))
         return np.array([labels_map[i] for i in range(size)], dtype=np.int64)

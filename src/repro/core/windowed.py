@@ -194,13 +194,65 @@ class WindowedApproxDBSCAN:
         incremental one-to-many calls.  Chunks never span a bucket
         boundary, so the snapshot cannot be invalidated by expiry.
 
-        With an index configured each arrival is already a sparse
-        range query, so this simply loops :meth:`insert`.
+        With an index configured the whole chunk is probed with one
+        CSR range query against the chunk-start index snapshot and the
+        candidate distances come from one flat
+        ``reduced_pair_distances`` call — same decisions as the
+        per-:meth:`insert` loop (centers allocated mid-chunk are
+        carried as explicit extra candidates, exactly like the dense
+        path), one query batch instead of one query per arrival.
         """
         payloads = list(payloads)
         if self.index is not None:
-            for payload in payloads:
-                self.insert(payload)
+            pos = 0
+            while pos < len(payloads):
+                self._advance_bucket()  # may expire buckets: probe after
+                step = min(
+                    len(payloads) - pos,
+                    1 + (self.bucket_size - self._in_bucket),
+                    max(1, rows_per_block(max(1, self.n_live_centers))),
+                )
+                chunk = payloads[pos : pos + step]
+                if self._index is not None:
+                    csr = self._index.range_query_points_csr(
+                        chunk, self._probe_radius, with_distances=False
+                    )
+                    flat_red = (
+                        np.asarray(
+                            self.metric.reduced_pair_distances(
+                                self._expand_rows(chunk, csr.query_rows()),
+                                self._slot_batch(csr.ids),
+                            ),
+                            dtype=np.float64,
+                        )
+                        if csr.ids.size
+                        else np.empty(0, dtype=np.float64)
+                    )
+                else:
+                    csr = None
+                new_slots: List[int] = []
+                empty = np.empty(0, dtype=np.float64)
+                for i, payload in enumerate(chunk):
+                    if i > 0:
+                        self._advance_bucket()
+                    if csr is not None:
+                        lo, hi = int(csr.offsets[i]), int(csr.offsets[i + 1])
+                        slots = [int(s) for s in csr.ids[lo:hi]]
+                        red = flat_red[lo:hi]
+                    else:
+                        slots, red = [], empty
+                    extra = (
+                        self._reduced_to_slots(payload, new_slots)
+                        if new_slots
+                        else None
+                    )
+                    slot = self._apply_arrival(
+                        payload, slots, red, new_slots, extra
+                    )
+                    if slot is not None:
+                        new_slots.append(slot)
+                    self._finish_arrival()
+                pos += step
             return
         pos = 0
         while pos < len(payloads):
@@ -328,11 +380,18 @@ class WindowedApproxDBSCAN:
     def _reduced_to_slots(self, payload: Any, slots: List[int]) -> np.ndarray:
         return self.metric.reduced_distance_many(payload, self._slot_batch(slots))
 
-    def _slot_batch(self, slots: List[int]) -> Any:
+    def _slot_batch(self, slots) -> Any:
         view = self._store.view()
         if self.metric.is_vector_metric:
             return view[np.asarray(slots, dtype=np.intp)]
         return [view[s] for s in slots]
+
+    def _expand_rows(self, chunk, rows_rep: np.ndarray) -> Any:
+        """Repeat chunk payloads along a CSR row expansion (flat query
+        side of ``reduced_pair_distances``)."""
+        if self.metric.is_vector_metric:
+            return np.asarray(chunk)[rows_rep]
+        return [chunk[int(r)] for r in rows_rep]
 
     # ------------------------------------------------------------------
     # Query side
@@ -356,18 +415,20 @@ class WindowedApproxDBSCAN:
         uf = UnionFind(len(core))
         threshold = (1.0 + self.rho) * self.eps
         if len(core) > 1 and self._index is not None:
-            # One range query per core center; non-core hits are
-            # filtered out, yielding the same edge set as the block.
-            pos_of = {slot: i for i, slot in enumerate(core)}
-            results = self._index.range_query_batch(
-                np.asarray(core, dtype=np.intp), threshold,
-                with_distances=False,
+            # One CSR range query over all core centers; non-core hits
+            # map to -1 and the upper-triangle mask drops them together
+            # with the duplicate edge direction — the same edge set as
+            # the dense block, with no per-hit Python loop.
+            core_arr = np.asarray(core, dtype=np.intp)
+            csr = self._index.range_query_batch_csr(
+                core_arr, threshold, with_distances=False
             )
-            for i, (ids, _) in enumerate(results):
-                for s in ids:
-                    j = pos_of.get(int(s))
-                    if j is not None and j > i:
-                        uf.union(i, j)
+            pos_of = np.full(len(self._centers), -1, dtype=np.int64)
+            pos_of[core_arr] = np.arange(len(core))
+            rows = csr.query_rows()
+            mapped = pos_of[csr.ids]
+            upper = mapped > rows
+            uf.union_edges(rows[upper], mapped[upper])
         elif len(core) > 1:
             # One certified decision block over the core centers
             # replaces the per-center sweep — the merge needs only the

@@ -11,6 +11,7 @@ selected by name through :func:`build_index` (``auto`` policy, or the
 
 from repro.index.base import DynamicIndexWrapper, NeighborIndex, QueryResult
 from repro.index.brute import BruteForceIndex
+from repro.index.csr import CSRQueryResult, csr_from_rows, segment_argmin
 from repro.index.covertree import CoverTreeIndex
 from repro.index.grid import GridIndex
 from repro.index.netgraph import center_neighbor_sets, net_neighbor_sets
@@ -33,6 +34,9 @@ from repro.index.registry import (
 __all__ = [
     "NeighborIndex",
     "QueryResult",
+    "CSRQueryResult",
+    "csr_from_rows",
+    "segment_argmin",
     "DynamicIndexWrapper",
     "BruteForceIndex",
     "GridIndex",

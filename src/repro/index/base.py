@@ -38,6 +38,16 @@ Contract
   every backend bit-compatible with the dense ``np.nonzero`` scans it
   replaces, so downstream tie-breaking (argmin on candidate lists,
   BFS expansion order) is identical across backends.
+- Batched queries come in two interchangeable shapes: the tuple-list
+  form (one ``(ids, dists)`` pair per query) and the flat CSR form of
+  :class:`~repro.index.csr.CSRQueryResult`
+  (:meth:`NeighborIndex.range_query_batch_csr` /
+  :meth:`NeighborIndex.range_query_points_csr`).  Consumers that fan
+  out over many queries — streaming passes, merge graphs, recounts —
+  should prefer the CSR form: ``brute`` and ``grid`` produce it
+  natively with no per-query Python assembly, and its flat arrays feed
+  ``np.bincount`` / segment reductions directly.  Row contents are
+  identical between the two shapes.
 - A stored query point always reports itself (distance 0).
 - Instrumentation: ``n_range_queries`` counts queries answered and
   ``n_candidates`` counts the exact-filter distance evaluations spent
@@ -70,6 +80,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.index.csr import CSRQueryResult, csr_from_rows
 from repro.metricspace.dataset import IndexArray, MetricDataset
 
 #: A query answer: (global point indices sorted ascending, aligned true
@@ -285,6 +296,35 @@ class NeighborIndex(ABC):
             f"{type(self).__name__} does not support payload queries"
         )
 
+    def range_query_batch_csr(
+        self, queries: IndexArray, radius, with_distances: bool = True
+    ) -> CSRQueryResult:
+        """:meth:`range_query_batch` in flat CSR form.
+
+        Same rows, same order, same distances — packed into one
+        ``(offsets, ids, dists)`` triple (see
+        :class:`~repro.index.csr.CSRQueryResult`) so batch consumers
+        skip the per-query tuple unpacking.  The default adapts the
+        tuple-list answer; ``brute`` and ``grid`` override with native
+        flat assembly.
+        """
+        return csr_from_rows(
+            self.range_query_batch(queries, radius, with_distances=with_distances),
+            with_distances,
+        )
+
+    def range_query_points_csr(
+        self, payloads: Sequence, radius, with_distances: bool = True
+    ) -> CSRQueryResult:
+        """:meth:`range_query_points` in flat CSR form (see
+        :meth:`range_query_batch_csr`)."""
+        return csr_from_rows(
+            self.range_query_points(
+                payloads, radius, with_distances=with_distances
+            ),
+            with_distances,
+        )
+
     # ------------------------------------------------------------------
     # Instrumentation
 
@@ -426,6 +466,24 @@ class DynamicIndexWrapper(NeighborIndex):
         self, payloads: Sequence, radius: float, with_distances: bool = True
     ) -> List[QueryResult]:
         out = self._fresh().range_query_points(
+            payloads, radius, with_distances=with_distances
+        )
+        self._sync()
+        return out
+
+    def range_query_batch_csr(
+        self, queries: IndexArray, radius, with_distances: bool = True
+    ) -> CSRQueryResult:
+        out = self._fresh().range_query_batch_csr(
+            queries, radius, with_distances=with_distances
+        )
+        self._sync()
+        return out
+
+    def range_query_points_csr(
+        self, payloads: Sequence, radius, with_distances: bool = True
+    ) -> CSRQueryResult:
+        out = self._fresh().range_query_points_csr(
             payloads, radius, with_distances=with_distances
         )
         self._sync()

@@ -6,15 +6,20 @@ cross kernels of :class:`~repro.metricspace.dataset.MetricDataset` —
 the correctness reference the other backends are tested against, and
 the fastest choice for small stored sets where numpy throughput beats
 any per-query pruning overhead.
+
+Batched answers are assembled natively in CSR form — one ``np.nonzero``
+and one ``bincount`` per evaluated block instead of a per-row Python
+loop — and the tuple-list entry points are thin views over it.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.index.base import (
+    CSRQueryResult,
     NeighborIndex,
     QueryResult,
     check_k,
@@ -51,39 +56,61 @@ class BruteForceIndex(NeighborIndex):
         # points since build/insert.
         return None if self._all and self.n_stored == self.dataset.n else self.stored
 
-    def _emit_rows(
-        self,
-        block: np.ndarray,
-        hits: np.ndarray,
-        metric,
-        with_distances: bool,
-        out: List[QueryResult],
-    ) -> None:
-        for row in range(block.shape[0]):
-            cols = np.flatnonzero(hits[row])
-            dists = (
-                np.asarray(
-                    metric.expand_reduced(block[row, cols]), dtype=np.float64
+    class _FlatCollector:
+        """Accumulates per-block hit triples into one CSR result.
+
+        ``self.stored`` is sorted ascending (build sorts, insert
+        re-sorts) and blocks cover consecutive query rows, so the flat
+        parts concatenate into row-major ascending-within-row order
+        with no sort at all.
+        """
+
+        def __init__(self, index: "BruteForceIndex", with_distances: bool) -> None:
+            self._stored = index.stored
+            self._metric = index.dataset.metric
+            self._with_distances = with_distances
+            self._counts: List[np.ndarray] = []
+            self._ids: List[np.ndarray] = []
+            self._dists: List[np.ndarray] = []
+
+        def add_block(self, hits: np.ndarray, block: Optional[np.ndarray]) -> None:
+            rows, cols = np.nonzero(hits)
+            self._counts.append(np.bincount(rows, minlength=hits.shape[0]))
+            self._ids.append(self._stored[cols])
+            if self._with_distances:
+                self._dists.append(
+                    np.asarray(
+                        self._metric.expand_reduced(block[rows, cols]),
+                        dtype=np.float64,
+                    )
                 )
-                if with_distances
-                else None
+
+        def finish(self, n_queries: int) -> CSRQueryResult:
+            if not self._counts:
+                return CSRQueryResult.empty(n_queries, self._with_distances)
+            counts = np.concatenate(self._counts)
+            offsets = np.zeros(n_queries + 1, dtype=np.intp)
+            np.cumsum(counts, out=offsets[1:])
+            return CSRQueryResult(
+                offsets,
+                np.concatenate(self._ids),
+                np.concatenate(self._dists) if self._with_distances else None,
             )
-            out.append((self.stored[cols], dists))
 
     def _reduced_radii(self, metric, radii: np.ndarray) -> np.ndarray:
         return np.asarray(
             [metric.reduce_threshold(float(r)) for r in radii], dtype=np.float64
         )
 
-    def range_query_batch(
+    def range_query_batch_csr(
         self, queries: IndexArray, radius, with_distances: bool = True
-    ) -> List[QueryResult]:
+    ) -> CSRQueryResult:
         dataset = self._require_built()
         queries = np.asarray(queries, dtype=np.intp)
         radius = check_radii(radius, len(queries))
         metric = dataset.metric
         targets = self._targets()
-        out: List[QueryResult] = []
+        flat = self._FlatCollector(self, with_distances)
         if isinstance(radius, np.ndarray):
             red_radii = self._reduced_radii(metric, radius)
             pos = 0
@@ -91,8 +118,7 @@ class BruteForceIndex(NeighborIndex):
                 queries=queries, targets=targets, reduced=True
             ):
                 rows = block.shape[0]
-                hits = block <= red_radii[pos : pos + rows, None]
-                self._emit_rows(block, hits, metric, with_distances, out)
+                flat.add_block(block <= red_radii[pos : pos + rows, None], block)
                 pos += rows
         elif not with_distances:
             # Decision-only scalar queries ride the certified
@@ -100,23 +126,27 @@ class BruteForceIndex(NeighborIndex):
             for _, mask in dataset.cross_blocks(
                 queries=queries, targets=targets, certified_threshold=radius
             ):
-                for row in range(mask.shape[0]):
-                    out.append((self.stored[np.flatnonzero(mask[row])], None))
+                flat.add_block(mask, None)
         else:
             red_radius = metric.reduce_threshold(radius)
             for _, block in dataset.cross_blocks(
                 queries=queries, targets=targets, reduced=True
             ):
-                self._emit_rows(
-                    block, block <= red_radius, metric, with_distances, out
-                )
-        self.n_range_queries += len(out)
-        self.n_candidates += len(out) * self.n_stored
-        return out
+                flat.add_block(block <= red_radius, block)
+        self.n_range_queries += len(queries)
+        self.n_candidates += len(queries) * self.n_stored
+        return flat.finish(len(queries))
 
-    def range_query_points(
-        self, payloads: Sequence, radius, with_distances: bool = True
+    def range_query_batch(
+        self, queries: IndexArray, radius, with_distances: bool = True
     ) -> List[QueryResult]:
+        return self.range_query_batch_csr(
+            queries, radius, with_distances=with_distances
+        ).tolist()
+
+    def range_query_points_csr(
+        self, payloads: Sequence, radius, with_distances: bool = True
+    ) -> CSRQueryResult:
         dataset = self._require_built()
         radius = check_radii(radius, len(payloads))
         metric = dataset.metric
@@ -125,7 +155,7 @@ class BruteForceIndex(NeighborIndex):
         certified = not per_query and not with_distances
         red_radius = None if per_query else metric.reduce_threshold(radius)
         stored_payloads = dataset.gather(self.stored)
-        out: List[QueryResult] = []
+        flat = self._FlatCollector(self, with_distances)
         step = rows_per_block(
             self.n_stored,
             bytes_per_entry=CERTIFIED_BYTES_PER_ENTRY if certified else 8,
@@ -136,8 +166,7 @@ class BruteForceIndex(NeighborIndex):
                 mask = metric.cross_certified(chunk, stored_payloads, radius)
                 dataset.n_cross_blocks += 1
                 dataset.n_cross_evals += mask.size
-                for row in range(mask.shape[0]):
-                    out.append((self.stored[np.flatnonzero(mask[row])], None))
+                flat.add_block(mask, None)
                 continue
             block = metric.reduced_cross(chunk, stored_payloads)
             dataset.n_cross_blocks += 1
@@ -146,10 +175,17 @@ class BruteForceIndex(NeighborIndex):
                 hits = block <= red_radii[lo : lo + block.shape[0], None]
             else:
                 hits = block <= red_radius
-            self._emit_rows(block, hits, metric, with_distances, out)
-        self.n_range_queries += len(out)
-        self.n_candidates += len(out) * self.n_stored
-        return out
+            flat.add_block(hits, block)
+        self.n_range_queries += len(payloads)
+        self.n_candidates += len(payloads) * self.n_stored
+        return flat.finish(len(payloads))
+
+    def range_query_points(
+        self, payloads: Sequence, radius, with_distances: bool = True
+    ) -> List[QueryResult]:
+        return self.range_query_points_csr(
+            payloads, radius, with_distances=with_distances
+        ).tolist()
 
     def knn(self, query: int, k: int) -> QueryResult:
         dataset = self._require_built()

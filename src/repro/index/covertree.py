@@ -11,6 +11,12 @@ doubling-dimension assumption (Claim 1).
 ``n_candidates`` reports the tree's actual distance evaluations
 (construction excluded), so the counter stays comparable with the
 exact-filter counts of the other backends.
+
+The CSR batch entry points (``range_query_batch_csr`` /
+``range_query_points_csr``) come from the generic base-class adapter:
+the tree traverses one query at a time regardless, so concatenating the
+tuple-list answer costs nothing extra and keeps the consumer-facing
+format uniform across backends.
 """
 
 from __future__ import annotations

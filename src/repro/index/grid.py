@@ -34,20 +34,24 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.index.base import (
+    CSRQueryResult,
     NeighborIndex,
     QueryResult,
     check_k,
     check_radii,
     check_radius,
 )
+from repro.index.csr import csr_from_parts
 from repro.metricspace.base import Metric
 from repro.metricspace.counting import CountingMetric
 from repro.metricspace.cosine import CosineMetric
 from repro.metricspace.dataset import (
     CERTIFIED_BYTES_PER_ENTRY,
     IndexArray,
+    pairs_per_slice,
     rows_per_block,
 )
+from repro.metricspace.precision import cascade_engaged
 from repro.metricspace.euclidean import EuclideanMetric
 from repro.metricspace.minkowski import (
     ChebyshevMetric,
@@ -332,9 +336,10 @@ class GridIndex(NeighborIndex):
                 for u in np.flatnonzero(lb <= view_radius * _SLACK)
             ]
         else:
+            cells = self._cells
             chunks = []
-            for off in offsets:
-                hit = self._cells.get(tuple(int(c) for c in cell + off))
+            for key in (cell + offsets).tolist():
+                hit = cells.get(tuple(key))
                 if hit is not None:
                     chunks.append(hit)
         if not chunks:
@@ -354,8 +359,9 @@ class GridIndex(NeighborIndex):
         radius,
         with_distances: bool,
         eval_certified=None,
-    ) -> List[QueryResult]:
-        """Shared cell-grouped range-query loop.
+        eval_pairs=None,
+    ) -> CSRQueryResult:
+        """Shared cell-grouped range-query loop, CSR output.
 
         ``eval_rows(sub, cand) -> reduced block`` evaluates the query
         rows at positions ``sub`` (into the original query sequence)
@@ -370,6 +376,15 @@ class GridIndex(NeighborIndex):
         (``with_distances=False``) use ``eval_certified(sub, cand) ->
         boolean mask`` instead of the reduced filter, riding the
         mixed-precision cascade.
+
+        Each evaluated block contributes one flat ``(query row,
+        candidate id, distance)`` triple via ``np.nonzero``; a query's
+        hits all come from its single cell-group — either as a block or
+        through the flat small-group pair batch (``eval_pairs(qs,
+        cand_pos) -> bool mask``, used for scalar decision-only groups
+        too small to engage the cascade) — in ascending-id order, so
+        the stable sort in :func:`csr_from_parts` restores row-major
+        order without touching within-row order.
         """
         dataset = self.dataset
         metric = dataset.metric
@@ -393,8 +408,17 @@ class GridIndex(NeighborIndex):
         )
         n_queries = len(qcells)
 
-        out: List[Optional[QueryResult]] = [None] * n_queries
-        empty = (np.empty(0, dtype=np.intp), np.empty(0, dtype=np.float64))
+        qidx_parts: List[np.ndarray] = []
+        id_parts: List[np.ndarray] = []
+        dist_parts: Optional[List[np.ndarray]] = [] if with_distances else None
+        # Cell-groups too small to engage the float32 cascade would pay
+        # mostly per-call setup in the block filter; their (query,
+        # candidate) pairs are collected here and decided by one flat
+        # aligned evaluation after the loop — the same float64
+        # threshold test, minus ~all of the per-group overhead.
+        flat_q_parts: List[np.ndarray] = []
+        flat_pos_parts: List[np.ndarray] = []
+        batch_pairs = eval_pairs is not None and certified
         # Queries sharing a cell share the same candidate set: group
         # them so the exact filter runs one block per occupied cell.
         uniq, query_groups = _group_rows(qcells)
@@ -410,8 +434,12 @@ class GridIndex(NeighborIndex):
             else:
                 cand_pos = self._gather(uniq[u], offsets, view_r)
             if cand_pos.size == 0:
-                for q in group:
-                    out[q] = empty
+                continue
+            if batch_pairs and not cascade_engaged(len(group) * cand_pos.size):
+                flat_q_parts.append(
+                    np.repeat(group, cand_pos.size)
+                )
+                flat_pos_parts.append(np.tile(cand_pos, len(group)))
                 continue
             cand = self.stored[cand_pos]
             # Chunked exact filter: a dense cell (everything hashing
@@ -427,8 +455,9 @@ class GridIndex(NeighborIndex):
                 if certified:
                     mask = eval_certified(sub, cand)
                     self.n_candidates += mask.size
-                    for row, q in enumerate(sub):
-                        out[q] = (cand[np.flatnonzero(mask[row])], None)
+                    rows, cols = np.nonzero(mask)
+                    qidx_parts.append(sub[rows])
+                    id_parts.append(cand[cols])
                     continue
                 block = eval_rows(sub, cand)
                 self.n_candidates += block.size
@@ -436,23 +465,33 @@ class GridIndex(NeighborIndex):
                     hits = block <= red_radii[sub][:, None]
                 else:
                     hits = block <= red_radius
-                for row, q in enumerate(sub):
-                    cols = np.flatnonzero(hits[row])
-                    dists = (
+                rows, cols = np.nonzero(hits)
+                qidx_parts.append(sub[rows])
+                id_parts.append(cand[cols])
+                if with_distances:
+                    dist_parts.append(
                         np.asarray(
-                            metric.expand_reduced(block[row, cols]),
+                            metric.expand_reduced(block[rows, cols]),
                             dtype=np.float64,
                         )
-                        if with_distances
-                        else None
                     )
-                    out[q] = (cand[cols], dists)
+        if flat_q_parts:
+            flat_q = np.concatenate(flat_q_parts)
+            flat_pos = np.concatenate(flat_pos_parts)
+            step = pairs_per_slice(self.dataset)
+            for lo in range(0, flat_q.size, step):
+                qs = flat_q[lo : lo + step]
+                cs = flat_pos[lo : lo + step]
+                ok = eval_pairs(qs, cs)
+                self.n_candidates += ok.size
+                qidx_parts.append(qs[ok])
+                id_parts.append(self.stored[cs[ok]])
         self.n_range_queries += n_queries
-        return out
+        return csr_from_parts(n_queries, qidx_parts, id_parts, dist_parts)
 
-    def range_query_batch(
+    def range_query_batch_csr(
         self, queries: IndexArray, radius, with_distances: bool = True
-    ) -> List[QueryResult]:
+    ) -> CSRQueryResult:
         dataset = self._require_built()
         queries = np.asarray(queries, dtype=np.intp)
         radius = check_radii(radius, len(queries))
@@ -465,40 +504,66 @@ class GridIndex(NeighborIndex):
         def eval_certified(sub, cand):
             return dataset.cross_certified(queries[sub], cand, radius)
 
+        def eval_pairs(qs, cand_pos):
+            return dataset.pair_certified(
+                queries[qs], self.stored[cand_pos], radius
+            )
+
         return self._range_impl(
-            qcells, eval_rows, radius, with_distances, eval_certified
+            qcells, eval_rows, radius, with_distances, eval_certified,
+            eval_pairs,
         )
 
-    def range_query_points(
-        self, payloads, radius, with_distances: bool = True
+    def range_query_batch(
+        self, queries: IndexArray, radius, with_distances: bool = True
     ) -> List[QueryResult]:
+        return self.range_query_batch_csr(
+            queries, radius, with_distances=with_distances
+        ).tolist()
+
+    def range_query_points_csr(
+        self, payloads, radius, with_distances: bool = True
+    ) -> CSRQueryResult:
         dataset = self._require_built()
         radius = check_radii(radius, len(payloads))
         metric = dataset.metric
-        qproj = self._view.coords(np.asarray(payloads, dtype=np.float64))[
-            :, self._dims
-        ]
+        parr = np.asarray(payloads, dtype=np.float64)
+        qproj = self._view.coords(parr)[:, self._dims]
         qcells = np.floor((qproj - self._origin) / self._width).astype(np.int64)
 
         def eval_rows(sub, cand):
-            block = metric.reduced_cross(
-                [payloads[int(i)] for i in sub], dataset.gather(cand)
-            )
+            block = metric.reduced_cross(parr[sub], dataset.gather(cand))
             dataset.n_cross_blocks += 1
             dataset.n_cross_evals += block.size
             return block
 
         def eval_certified(sub, cand):
             mask = metric.cross_certified(
-                [payloads[int(i)] for i in sub], dataset.gather(cand), radius
+                parr[sub], dataset.gather(cand), radius
             )
             dataset.n_cross_blocks += 1
             dataset.n_cross_evals += mask.size
             return mask
 
+        def eval_pairs(qs, cand_pos):
+            out = metric.pair_certified(
+                parr[qs], dataset.gather(self.stored[cand_pos]), radius
+            )
+            dataset.n_cross_blocks += 1
+            dataset.n_cross_evals += len(out)
+            return out
+
         return self._range_impl(
-            qcells, eval_rows, radius, with_distances, eval_certified
+            qcells, eval_rows, radius, with_distances, eval_certified,
+            eval_pairs,
         )
+
+    def range_query_points(
+        self, payloads, radius, with_distances: bool = True
+    ) -> List[QueryResult]:
+        return self.range_query_points_csr(
+            payloads, radius, with_distances=with_distances
+        ).tolist()
 
     def knn(self, query: int, k: int) -> QueryResult:
         dataset = self._require_built()

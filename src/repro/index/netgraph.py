@@ -45,10 +45,15 @@ def center_neighbor_sets(
     else:
         position_of = np.full(net.dataset.n, -1, dtype=np.int64)
         position_of[centers] = np.arange(len(centers))
-    results = index.range_query_batch(centers, threshold, with_distances=False)
+    csr = index.range_query_batch_csr(centers, threshold, with_distances=False)
     # Global ids map to center positions in insertion (not id) order,
-    # so re-sort per row to match the dense np.nonzero scan order.
-    return [np.sort(position_of[ids]) for ids, _ in results]
+    # so re-sort within each row to match the dense np.nonzero scan
+    # order — one flat lexsort over (row, position) instead of a
+    # per-row Python loop.
+    mapped = position_of[csr.ids]
+    rows = csr.query_rows()
+    order = np.lexsort((mapped, rows))
+    return np.split(mapped[order], csr.offsets[1:-1])
 
 
 def net_neighbor_sets(

@@ -17,9 +17,9 @@ module's :func:`diff_artifacts` library entry) compares two
   ``rescue_fraction``): regression on an absolute increase beyond
   ``fraction_tol`` (default 0.05).
 - *quality* metrics (``ari``/``ami``): regression on an absolute
-  *decrease* beyond ``quality_tol`` (default 0.05); ``speedup`` is
-  wall-derived (higher is better, ``wall_tol`` band, dropped by
-  ``--ignore-wall``).
+  *decrease* beyond ``quality_tol`` (default 0.05); ``speedup`` and
+  ``throughput`` are wall-derived (higher is better, ``wall_tol``
+  band, dropped by ``--ignore-wall``).
 
 Series are matched by ``label``; a baseline series or metric missing
 from the current artifact is a coverage regression.  ``--ignore GLOB``
@@ -41,7 +41,7 @@ from repro.obs.recorder import load_artifact
 _QUALITY_KEYS = frozenset({"ari", "ami"})
 
 #: Metric base names treated as higher-is-better with the wall band.
-_HIGHER_WALL_KEYS = frozenset({"speedup"})
+_HIGHER_WALL_KEYS = frozenset({"speedup", "throughput"})
 
 
 @dataclass

@@ -1,0 +1,350 @@
+"""Tests for the vectorized streaming ingestion engine (PR 9).
+
+Two load-bearing properties:
+
+1. **CSR/tuple-list interchangeability** — every backend's flat CSR
+   answers (``offsets``, ``ids``, ``dists``) must describe exactly the
+   same rows, in the same order, with the same distances as the
+   tuple-list API, for scalar and per-query radii, with and without
+   distances.
+2. **Epoch-batched == per-element == dense** — the epoch-batched
+   indexed pass 1 is a pure execution-strategy change: labels must be
+   bit-identical to both the per-element indexed reference loop and the
+   dense (no-index) path, and the deterministic work counters
+   (``distance_evals``, ``n_candidates``, ``n_range_queries``) must be
+   *identical* between the two indexed modes — not merely close.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.streaming import StreamingApproxDBSCAN
+from repro.core.windowed import WindowedApproxDBSCAN
+from repro.datasets import make_blobs, make_moons
+from repro.index import build_index, segment_argmin
+from repro.index.csr import CSRQueryResult, csr_from_parts, csr_from_rows
+from repro.index.registry import DEFAULT_INDEX_ENV
+from repro.metricspace import EditDistanceMetric, MetricDataset
+
+BACKENDS = ("brute", "grid", "covertree")
+#: Index specs the streaming solvers are exercised under; ``auto``
+#: resolves through the registry policy, the rest force a backend.
+INDEX_SETTINGS = ("auto", "brute", "grid", "covertree")
+
+COUNTER_KEYS = ("distance_evals", "n_candidates", "n_range_queries")
+
+
+def _counters(result):
+    return {k: result.timings.counters.get(k, 0) for k in COUNTER_KEYS}
+
+
+def _blobs():
+    pts, _ = make_blobs(
+        n=620, n_clusters=3, dim=2, std=0.35, spread=9.0,
+        outlier_fraction=0.04, seed=21,
+    )
+    return pts
+
+
+def _moons():
+    pts, _ = make_moons(n=620, noise=0.05, outlier_fraction=0.03, seed=8)
+    return pts
+
+
+def _words(n=180, seed=3):
+    rng = np.random.default_rng(seed)
+    alphabet = list("abcdef")
+    stems = ["".join(rng.choice(alphabet, size=8)) for _ in range(6)]
+    out = []
+    for _ in range(n):
+        stem = list(stems[int(rng.integers(len(stems)))])
+        for _ in range(int(rng.integers(0, 3))):
+            stem[int(rng.integers(len(stem)))] = str(
+                rng.choice(alphabet)
+            )
+        out.append("".join(stem))
+    return out
+
+
+# ----------------------------------------------------------------------
+# CSR container + kernels
+
+
+class TestCSRContainer:
+    def test_round_trip_and_views(self):
+        rows = [
+            (np.array([3, 7]), np.array([0.5, 1.5])),
+            (np.array([], dtype=np.intp), np.array([])),
+            (np.array([1]), np.array([0.25])),
+        ]
+        csr = csr_from_rows(rows, with_distances=True)
+        assert csr.n_queries == 3
+        assert len(csr) == 3
+        np.testing.assert_array_equal(csr.offsets, [0, 2, 2, 3])
+        np.testing.assert_array_equal(csr.ids, [3, 7, 1])
+        np.testing.assert_allclose(csr.dists, [0.5, 1.5, 0.25])
+        np.testing.assert_array_equal(csr.counts(), [2, 0, 1])
+        np.testing.assert_array_equal(csr.query_rows(), [0, 0, 2])
+        got = csr.tolist()
+        for (g_ids, g_d), (w_ids, w_d) in zip(got, rows):
+            np.testing.assert_array_equal(g_ids, w_ids)
+            np.testing.assert_allclose(g_d, w_d)
+
+    def test_empty(self):
+        csr = CSRQueryResult.empty(4, with_distances=False)
+        assert csr.n_queries == 4
+        assert csr.ids.size == 0
+        assert csr.dists is None
+        assert all(ids.size == 0 for ids, _ in csr.tolist())
+
+    def test_offsets_validated(self):
+        with pytest.raises(ValueError):
+            CSRQueryResult(
+                np.array([0, 2]), np.array([1, 2, 3]), None
+            )
+
+    def test_csr_from_parts_sorts_rows(self):
+        # Parts arrive interleaved by block; assembly must be stable
+        # per query row so within-row candidate order is preserved.
+        csr = csr_from_parts(
+            3,
+            [np.array([2, 0]), np.array([0, 2])],
+            [np.array([10, 11]), np.array([12, 13])],
+            None,
+        )
+        np.testing.assert_array_equal(csr.counts(), [2, 0, 2])
+        np.testing.assert_array_equal(csr.row(0)[0], [11, 12])
+        np.testing.assert_array_equal(csr.row(2)[0], [10, 13])
+
+
+class TestSegmentArgmin:
+    def test_basic_and_empty_segments(self):
+        values = np.array([5.0, 2.0, 9.0, 1.0, 4.0])
+        offsets = np.array([0, 2, 2, 5])
+        arg, minima = segment_argmin(values, offsets)
+        np.testing.assert_array_equal(arg, [1, -1, 3])
+        assert minima[0] == 2.0
+        assert np.isinf(minima[1])
+        assert minima[2] == 1.0
+
+    def test_tie_break_is_first_occurrence(self):
+        values = np.array([3.0, 1.0, 1.0, 1.0, 1.0])
+        offsets = np.array([0, 3, 5])
+        arg, _ = segment_argmin(values, offsets)
+        np.testing.assert_array_equal(arg, [1, 3])
+
+    def test_all_empty(self):
+        arg, minima = segment_argmin(
+            np.array([]), np.array([0, 0, 0])
+        )
+        np.testing.assert_array_equal(arg, [-1, -1])
+        assert np.isinf(minima).all()
+
+
+# ----------------------------------------------------------------------
+# Backend CSR == tuple-list equivalence
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBackendCSREquivalence:
+    def _dataset(self):
+        pts, _ = make_blobs(
+            n=240, n_clusters=4, dim=8, std=0.7, spread=5.0,
+            outlier_fraction=0.1, seed=0,
+        )
+        return MetricDataset(pts)
+
+    def _assert_match(self, csr, rows, with_distances):
+        assert csr.n_queries == len(rows)
+        if not with_distances:
+            assert csr.dists is None
+        for i, (w_ids, w_d) in enumerate(rows):
+            g_ids, g_d = csr.row(i)
+            np.testing.assert_array_equal(g_ids, w_ids)
+            assert np.all(np.diff(g_ids) > 0)  # sorted ascending
+            if with_distances:
+                np.testing.assert_allclose(g_d, w_d, atol=1e-9)
+
+    @pytest.mark.parametrize("with_distances", [True, False])
+    def test_scalar_radius(self, backend, with_distances):
+        ds = self._dataset()
+        index = build_index(backend, ds, radius_hint=1.8)
+        queries = np.arange(0, ds.n, 3, dtype=np.intp)
+        csr = index.range_query_batch_csr(
+            queries, 1.8, with_distances=with_distances
+        )
+        rows = index.range_query_batch(
+            queries, 1.8, with_distances=with_distances
+        )
+        self._assert_match(csr, rows, with_distances)
+        assert csr.ids.size > 0  # non-degenerate instance
+
+    def test_per_query_radii(self, backend):
+        ds = self._dataset()
+        index = build_index(backend, ds, radius_hint=2.0)
+        queries = np.arange(0, 60, dtype=np.intp)
+        radii = np.linspace(0.4, 2.4, queries.size)
+        csr = index.range_query_batch_csr(queries, radii)
+        rows = index.range_query_batch(queries, radii)
+        self._assert_match(csr, rows, with_distances=True)
+
+    @pytest.mark.parametrize("with_distances", [True, False])
+    def test_payload_queries(self, backend, with_distances):
+        ds = self._dataset()
+        index = build_index(backend, ds, radius_hint=1.5)
+        rng = np.random.default_rng(7)
+        payloads = ds.points[::5] + rng.normal(0, 0.05, ds.points[::5].shape)
+        csr = index.range_query_points_csr(
+            payloads, 1.5, with_distances=with_distances
+        )
+        rows = index.range_query_points(
+            payloads, 1.5, with_distances=with_distances
+        )
+        self._assert_match(csr, rows, with_distances)
+
+    def test_counters_advance_identically(self, backend):
+        ds = self._dataset()
+        a = build_index(backend, ds, radius_hint=1.8)
+        b = build_index(backend, ds, radius_hint=1.8)
+        queries = np.arange(0, ds.n, 4, dtype=np.intp)
+        a.reset_counters()
+        b.reset_counters()
+        a.range_query_batch_csr(queries, 1.8)
+        b.range_query_batch(queries, 1.8)
+        assert a.counters() == b.counters()
+
+
+@pytest.mark.parametrize("backend", ("brute", "covertree"))
+def test_csr_equivalence_edit_distance(backend):
+    strings = _words(n=120, seed=2)
+    ds = MetricDataset(strings, EditDistanceMetric())
+    index = build_index(backend, ds, radius_hint=3.0)
+    queries = np.arange(0, ds.n, 2, dtype=np.intp)
+    csr = index.range_query_batch_csr(queries, 3.0)
+    rows = index.range_query_batch(queries, 3.0)
+    assert csr.n_queries == len(rows)
+    for i, (w_ids, w_d) in enumerate(rows):
+        g_ids, g_d = csr.row(i)
+        np.testing.assert_array_equal(g_ids, w_ids)
+        np.testing.assert_allclose(g_d, w_d)
+
+
+# ----------------------------------------------------------------------
+# Epoch-batched ingestion parity
+
+
+@pytest.mark.parametrize("spec", INDEX_SETTINGS)
+@pytest.mark.parametrize(
+    "name,pts,eps,min_pts",
+    [("blobs", _blobs(), 0.7, 6), ("moons", _moons(), 0.14, 6)],
+    ids=["blobs", "moons"],
+)
+class TestEpochBatchedParity:
+    def test_epoch_matches_per_element_and_dense(
+        self, monkeypatch, spec, name, pts, eps, min_pts
+    ):
+        monkeypatch.setenv(DEFAULT_INDEX_ENV, spec)
+        ds = MetricDataset(pts)
+        dense = StreamingApproxDBSCAN(eps, min_pts, rho=0.5).fit(ds)
+        epoch = StreamingApproxDBSCAN(
+            eps, min_pts, rho=0.5, index=spec, epoch_batched=True
+        ).fit(ds)
+        per_el = StreamingApproxDBSCAN(
+            eps, min_pts, rho=0.5, index=spec, epoch_batched=False
+        ).fit(ds)
+
+        # Bit-identical labels — not up-to-relabeling, *identical*:
+        # all three paths visit arrivals in the same order and must
+        # make the same center/watch/label decisions.
+        np.testing.assert_array_equal(epoch.labels, dense.labels)
+        np.testing.assert_array_equal(epoch.labels, per_el.labels)
+
+        assert epoch.stats["ingest_mode"] == "epoch"
+        assert per_el.stats["ingest_mode"] == "per-element"
+        assert epoch.stats["n_centers"] == per_el.stats["n_centers"]
+        assert epoch.stats["watch_size"] == per_el.stats["watch_size"]
+
+        # Work parity: epoch-batching reshapes the evaluation schedule
+        # but performs exactly the same evaluations.
+        assert _counters(epoch) == _counters(per_el)
+        assert _counters(epoch)["n_range_queries"] > 0
+
+
+@pytest.mark.parametrize("spec", ("auto", "brute", "covertree"))
+def test_epoch_parity_edit_distance_stream(monkeypatch, spec):
+    """Non-vector payloads take the list-based epoch expansion path."""
+    monkeypatch.setenv(DEFAULT_INDEX_ENV, spec)
+    words = _words()
+    metric = EditDistanceMetric()
+
+    def factory():
+        return iter(list(words))
+
+    def run(**kw):
+        return StreamingApproxDBSCAN(
+            2.0, 4, rho=0.5, metric=metric, **kw
+        ).fit_stream(factory, n_hint=len(words))
+
+    dense = run()
+    epoch = run(index=spec, epoch_batched=True)
+    per_el = run(index=spec, epoch_batched=False)
+    np.testing.assert_array_equal(epoch.labels, dense.labels)
+    np.testing.assert_array_equal(epoch.labels, per_el.labels)
+    assert _counters(epoch) == _counters(per_el)
+
+
+def test_grid_env_preference_falls_back_for_strings(monkeypatch):
+    """A process-wide grid preference must not break string streams:
+    the registry falls back to the auto policy for metrics grid cannot
+    serve, and the epoch path still matches dense labels."""
+    monkeypatch.setenv(DEFAULT_INDEX_ENV, "grid")
+    words = _words(n=120, seed=5)
+    metric = EditDistanceMetric()
+
+    def factory():
+        return iter(list(words))
+
+    dense = StreamingApproxDBSCAN(2.0, 4, rho=0.5, metric=metric).fit_stream(
+        factory, n_hint=len(words)
+    )
+    epoch = StreamingApproxDBSCAN(
+        2.0, 4, rho=0.5, metric=metric, index="auto", epoch_batched=True
+    ).fit_stream(factory, n_hint=len(words))
+    np.testing.assert_array_equal(epoch.labels, dense.labels)
+
+
+# ----------------------------------------------------------------------
+# Windowed insert_many consumes the same CSR machinery
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_windowed_insert_many_matches_insert(backend):
+    rng = np.random.default_rng(11)
+    pts = np.vstack([
+        rng.normal([0.0, 0.0], 0.25, size=(140, 2)),
+        rng.normal([6.0, 0.0], 0.25, size=(140, 2)),
+        rng.normal([3.0, 40.0], 0.25, size=(20, 2)),
+    ])
+    order = rng.permutation(len(pts))
+    pts = pts[order]
+
+    def build():
+        return WindowedApproxDBSCAN(
+            1.0, 5, rho=0.5, window=240, n_buckets=6, index=backend
+        )
+
+    one = build()
+    for p in pts:
+        one.insert(p)
+    many = build()
+    many.insert_many(pts)
+    dense = WindowedApproxDBSCAN(1.0, 5, rho=0.5, window=240, n_buckets=6)
+    dense.insert_many(pts)
+
+    assert many.n_live_centers == one.n_live_centers
+    assert many.n_clusters == one.n_clusters == dense.n_clusters
+    probes = np.array([[0.0, 0.0], [6.0, 0.0], [3.0, 40.0], [50.0, 50.0]])
+    for p in probes:
+        assert many.predict(p) == one.predict(p)

@@ -30,7 +30,6 @@ for _p in (str(_HERE), str(_HERE.parent / "src")):
     if _p not in sys.path:
         sys.path.insert(0, _p)
 
-import numpy as np
 import pytest
 
 from repro import ApproxMetricDBSCAN, MetricDBSCAN, MetricDataset

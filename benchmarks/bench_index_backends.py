@@ -36,7 +36,6 @@ for _p in (str(_HERE), str(_HERE.parent / "src")):
         sys.path.insert(0, _p)
 
 import numpy as np
-import pytest
 
 from repro.baselines import OriginalDBSCAN
 from repro.core import StreamingApproxDBSCAN

@@ -7,7 +7,6 @@ quantifies that payoff: a (ε, MinPts) tuning sweep with and without the
 cached net.
 """
 
-import pytest
 
 from repro import MetricDBSCAN
 from repro.datasets import load_dataset

@@ -8,8 +8,6 @@ non-convex and noisy datasets; BICO is competitive where clusters are
 spherical; DP-means and Mean shift trail on the noisy variants.
 """
 
-import numpy as np
-import pytest
 
 from repro import ApproxMetricDBSCAN, MetricDBSCAN, MetricDataset
 from repro.baselines import BICO, DPMeans, DensityPeak, MeanShift

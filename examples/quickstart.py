@@ -8,7 +8,6 @@ timing breakdown of the exact solver.
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
 
 from repro import (
     ApproxMetricDBSCAN,

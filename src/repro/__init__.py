@@ -39,6 +39,7 @@ Quickstart
 from repro.core import (
     ApproxMetricDBSCAN,
     ClusteringResult,
+    DecayingApproxDBSCAN,
     GonzalezNet,
     MetricDBSCAN,
     PointType,
@@ -80,6 +81,7 @@ __all__ = [
     "approx_metric_dbscan",
     "StreamingApproxDBSCAN",
     "WindowedApproxDBSCAN",
+    "DecayingApproxDBSCAN",
     "radius_guided_gonzalez",
     "GonzalezNet",
     "net_from_cover_tree",

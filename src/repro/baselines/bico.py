@@ -20,7 +20,7 @@ paper calls out in Section 5.4.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional
+from typing import List, Optional
 
 import numpy as np
 

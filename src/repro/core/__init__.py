@@ -9,7 +9,7 @@ from repro.core.gonzalez import GonzalezNet, radius_guided_gonzalez
 from repro.core.result import ClusteringResult, PointType
 from repro.core.streaming import StreamingApproxDBSCAN
 from repro.core.summary import CoreSummary, build_summary
-from repro.core.windowed import WindowedApproxDBSCAN
+from repro.core.windowed import DecayingApproxDBSCAN, WindowedApproxDBSCAN
 
 __all__ = [
     "radius_guided_gonzalez",
@@ -21,6 +21,7 @@ __all__ = [
     "approx_metric_dbscan",
     "StreamingApproxDBSCAN",
     "WindowedApproxDBSCAN",
+    "DecayingApproxDBSCAN",
     "CoreSummary",
     "build_summary",
     "ClusteringResult",

@@ -95,8 +95,14 @@ StreamFactory = Callable[[], Iterable[Any]]
 _MAX_CHUNK = 4096
 
 
-def _stream_chunks(stream: Iterable[Any], size_fn) -> Iterator[List[Any]]:
-    """Slice a stream into lists whose length tracks ``size_fn()``."""
+def stream_chunks(stream: Iterable[Any], size_fn) -> Iterator[List[Any]]:
+    """Slice a stream into lists whose length tracks ``size_fn()``.
+
+    ``size_fn`` is re-evaluated before every slice, so chunk lengths can
+    follow evolving state (live-center counts, bucket boundaries); the
+    result is clipped to ``[1, 4096]``.  Shared by the streaming solver
+    and the windowed/decaying maintainers of :mod:`repro.core.windowed`.
+    """
     it = iter(stream)
     while True:
         size = int(np.clip(size_fn(), 1, _MAX_CHUNK))
@@ -104,6 +110,10 @@ def _stream_chunks(stream: Iterable[Any], size_fn) -> Iterator[List[Any]]:
         if not chunk:
             return
         yield chunk
+
+
+#: Backwards-compatible alias for the pre-public name.
+_stream_chunks = stream_chunks
 
 
 class _GrowingCounts:

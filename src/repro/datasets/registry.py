@@ -16,13 +16,12 @@ Usage
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.datasets.synthetic import (
-    make_anisotropic,
     make_blobs,
     make_cluto_like,
     make_low_doubling,

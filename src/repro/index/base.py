@@ -70,6 +70,30 @@ next query.  This is what lets Algorithm 1 maintain one incremental
 index over its growing center set instead of materializing the dense
 ``|E|²`` center matrix, and lets the streaming/windowed solvers index
 their summary as it grows.
+
+Deletion is the other half of the lifecycle: backends with
+``supports_delete = True`` accept :meth:`delete` / :meth:`delete_batch`
+after :meth:`build`, shrinking the stored set without a rebuild — the
+brute backend drops rows from its (sorted) block store, the grid
+removes ids from their cells in amortized O(cell) and prunes emptied
+cells.  An index that has seen deletions answers every query exactly as
+one built fresh over the survivors (``tests/test_index_deletion.py``
+pins this per backend).  Backends without native removal (the cover
+tree would need re-parenting) go through :class:`DynamicIndexWrapper`,
+which *tombstones* deleted ids — masking them out of the inner
+backend's answers — and compacts (one inner rebuild) only when the
+live fraction drops below :attr:`DynamicIndexWrapper.compact_live_fraction`.
+
+Two contract points deletion adds:
+
+- at :meth:`delete_batch` time a deleted id's payload must still be
+  the payload it was *indexed* with — backends locate points by
+  hashing their current payload (grid) or by cached structure built
+  from it (cover tree), so callers that recycle payload slots (the
+  windowed solver) must delete first and overwrite after;
+- re-inserting an id the wrapper holds as a tombstone forces an inner
+  rebuild before the next query: the inner structure still references
+  the id, and its payload may have changed.
 """
 
 from __future__ import annotations
@@ -103,6 +127,11 @@ class NeighborIndex(ABC):
     #: growth).  Backends without it still work behind
     #: :class:`DynamicIndexWrapper`.
     supports_insert: bool = False
+
+    #: Whether the backend implements :meth:`_delete` (native point
+    #: removal).  Backends without it get tombstone-based deletion
+    #: behind :class:`DynamicIndexWrapper`.
+    supports_delete: bool = False
 
     def __init__(self) -> None:
         self.dataset: Optional[MetricDataset] = None
@@ -205,6 +234,49 @@ class NeighborIndex(ABC):
     def _insert(self, new: np.ndarray) -> None:
         """Backend hook: extend the structure with the points ``new``
         (already appended to ``self.stored``)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Dynamic shrinkage
+
+    def delete(self, index: int) -> None:
+        """Remove one stored point (see :meth:`delete_batch`)."""
+        self.delete_batch(np.asarray([index], dtype=np.intp))
+
+    def delete_batch(self, indices: IndexArray) -> None:
+        """Remove dataset points from a built index without rebuilding.
+
+        ``indices`` are global dataset indices, all of which must be
+        currently stored (duplicates rejected).  After the call the
+        index answers every query exactly as one built fresh over the
+        survivors.  Each removed id's payload must still be the payload
+        it was indexed with — callers that overwrite payload slots
+        delete *before* recycling (see the module docstring).  Deleting
+        every stored point is allowed: the emptied index answers all
+        queries with zero hits and accepts :meth:`insert_batch` again.
+        """
+        self._require_built()
+        drop = np.asarray(indices, dtype=np.intp)
+        if drop.size == 0:
+            return
+        if len(np.unique(drop)) != len(drop):
+            raise ValueError("delete_batch received duplicate point indices")
+        if not self.supports_delete:
+            raise NotImplementedError(
+                f"{type(self).__name__} cannot delete; wrap it in "
+                "DynamicIndexWrapper for tombstone semantics"
+            )
+        dead = np.isin(self.stored, drop)
+        if int(dead.sum()) != drop.size:
+            raise ValueError("delete_batch received point indices not stored")
+        # Order-preserving compaction: survivors keep their relative
+        # order, so a sorted stored array stays sorted.
+        self.stored = self.stored[~dead]
+        self._delete(drop)
+
+    def _delete(self, removed: np.ndarray) -> None:
+        """Backend hook: drop the points ``removed`` (already compacted
+        out of ``self.stored``) from the structure."""
         raise NotImplementedError
 
     def spawn(self) -> "NeighborIndex":
@@ -401,13 +473,25 @@ def check_k(k: int) -> int:
 
 
 class DynamicIndexWrapper(NeighborIndex):
-    """Rebuild-fallback giving insert semantics to any backend.
+    """Insert/delete semantics for any backend via rebuilds + tombstones.
 
-    Wraps an (unbuilt) backend instance; :meth:`insert_batch` only
-    buffers, and the inner index is rebuilt over the full stored set
-    lazily before the next query.  With the solvers' batch-inserts-
-    then-query-phases access pattern that amortizes to one rebuild per
-    phase, which is the best a static structure can do.
+    Wraps an (unbuilt) backend instance.  Inserts forward natively when
+    the inner backend can grow; otherwise they only buffer, and the
+    inner index is rebuilt over the full stored set lazily before the
+    next query.  With the solvers' batch-inserts-then-query-phases
+    access pattern that amortizes to one rebuild per phase, which is
+    the best a static structure can do.
+
+    Deletes are **tombstones**: the removed ids stay in the inner
+    structure (no re-parenting) but are masked out of every answer —
+    CSR results through :meth:`~repro.index.csr.CSRQueryResult.without_ids`,
+    kNN by over-fetching ``k + #tombstones``.  When the live fraction
+    ``n_stored / inner.n_stored`` drops below
+    :attr:`compact_live_fraction` the wrapper schedules a compaction
+    (one lazy inner rebuild over the survivors), so the masking
+    overhead stays bounded.  Re-inserting a tombstoned id also forces a
+    rebuild: the inner structure still references it and the payload
+    may have been recycled.
 
     The wrapper reports the *inner* backend's registry ``name`` so
     spec-resolution reuse checks (``net_neighbor_sets``) see through
@@ -416,30 +500,75 @@ class DynamicIndexWrapper(NeighborIndex):
     """
 
     supports_insert = True
+    supports_delete = True
 
-    def __init__(self, inner: NeighborIndex) -> None:
+    #: Compaction threshold: schedule an inner rebuild when fewer than
+    #: this fraction of the inner backend's stored points are live.
+    compact_live_fraction = 0.5
+
+    def __init__(
+        self,
+        inner: NeighborIndex,
+        compact_live_fraction: Optional[float] = None,
+    ) -> None:
         super().__init__()
         if isinstance(inner, DynamicIndexWrapper):
             raise TypeError("refusing to wrap a DynamicIndexWrapper in another")
+        if compact_live_fraction is not None:
+            if not 0.0 <= compact_live_fraction <= 1.0:
+                raise ValueError(
+                    "compact_live_fraction must be in [0, 1], got "
+                    f"{compact_live_fraction}"
+                )
+            self.compact_live_fraction = float(compact_live_fraction)
         self.inner = inner
         self.name = inner.name
         self._pending = False
+        self._tombstones = np.empty(0, dtype=np.intp)
+        self.n_compactions = 0
         self._folded_queries = 0
         self._folded_candidates = 0
+
+    @property
+    def tombstones(self) -> np.ndarray:
+        """Deleted ids still present in the inner structure.  Callers
+        that recycle payload slots must not overwrite these until a
+        compaction clears them (the windowed solver quarantines them)."""
+        return self._tombstones
 
     def _build(self) -> None:
         self.inner.build(
             self.dataset, indices=self.stored, radius_hint=self.radius_hint
         )
         self._pending = False
+        self._tombstones = np.empty(0, dtype=np.intp)
         self._folded_queries = 0
         self._folded_candidates = 0
 
     def _insert(self, new: np.ndarray) -> None:
-        self._pending = True
+        if self._tombstones.size and np.isin(new, self._tombstones).any():
+            # The inner structure still holds this id (with its old
+            # payload); only a rebuild restores consistency.
+            self._pending = True
+            return
+        if self._pending or not self.inner.supports_insert:
+            self._pending = True
+            return
+        self.inner.insert_batch(new)
+
+    def _delete(self, removed: np.ndarray) -> None:
+        if self._pending:
+            # The inner index is stale anyway; the lazy rebuild over
+            # ``self.stored`` (which no longer holds ``removed``)
+            # covers the deletion too.
+            return
+        self._tombstones = np.union1d(self._tombstones, removed)
+        if self.n_stored < self.compact_live_fraction * self.inner.n_stored:
+            self._pending = True
+            self.n_compactions += 1
 
     def _fresh(self) -> NeighborIndex:
-        if self._pending:
+        if self._pending and self.n_stored > 0:
             # Inner builds zero their counters; fold before rebuilding.
             self._folded_queries += self.inner.n_range_queries
             self._folded_candidates += self.inner.n_candidates
@@ -447,52 +576,96 @@ class DynamicIndexWrapper(NeighborIndex):
                 self.dataset, indices=self.stored, radius_hint=self.radius_hint
             )
             self._pending = False
+            self._tombstones = np.empty(0, dtype=np.intp)
         return self.inner
 
     def _sync(self) -> None:
         self.n_range_queries = self._folded_queries + self.inner.n_range_queries
         self.n_candidates = self._folded_candidates + self.inner.n_candidates
 
+    def _mask_rows(self, rows: List[QueryResult]) -> List[QueryResult]:
+        """Filter tombstoned ids out of a tuple-list answer."""
+        if self._tombstones.size == 0:
+            return rows
+        out: List[QueryResult] = []
+        for ids, dists in rows:
+            keep = ~np.isin(ids, self._tombstones)
+            if keep.all():
+                out.append((ids, dists))
+            else:
+                out.append(
+                    (ids[keep], None if dists is None else dists[keep])
+                )
+        return out
+
+    def _count_empty(self, n_queries: int) -> None:
+        """Account queries answered by the deleted-to-empty guard (the
+        inner index is never consulted, so fold directly)."""
+        self._folded_queries += int(n_queries)
+        self._sync()
+
     def range_query_batch(
         self, queries: IndexArray, radius: float, with_distances: bool = True
     ) -> List[QueryResult]:
+        if self.n_stored == 0:
+            self._count_empty(len(queries))
+            return CSRQueryResult.empty(len(queries), with_distances).tolist()
         out = self._fresh().range_query_batch(
             queries, radius, with_distances=with_distances
         )
         self._sync()
-        return out
+        return self._mask_rows(out)
 
     def range_query_points(
         self, payloads: Sequence, radius: float, with_distances: bool = True
     ) -> List[QueryResult]:
+        if self.n_stored == 0:
+            self._count_empty(len(payloads))
+            return CSRQueryResult.empty(len(payloads), with_distances).tolist()
         out = self._fresh().range_query_points(
             payloads, radius, with_distances=with_distances
         )
         self._sync()
-        return out
+        return self._mask_rows(out)
 
     def range_query_batch_csr(
         self, queries: IndexArray, radius, with_distances: bool = True
     ) -> CSRQueryResult:
+        if self.n_stored == 0:
+            self._count_empty(len(queries))
+            return CSRQueryResult.empty(len(queries), with_distances)
         out = self._fresh().range_query_batch_csr(
             queries, radius, with_distances=with_distances
         )
         self._sync()
-        return out
+        return out.without_ids(self._tombstones)
 
     def range_query_points_csr(
         self, payloads: Sequence, radius, with_distances: bool = True
     ) -> CSRQueryResult:
+        if self.n_stored == 0:
+            self._count_empty(len(payloads))
+            return CSRQueryResult.empty(len(payloads), with_distances)
         out = self._fresh().range_query_points_csr(
             payloads, radius, with_distances=with_distances
         )
         self._sync()
-        return out
+        return out.without_ids(self._tombstones)
 
     def knn(self, query: int, k: int) -> QueryResult:
-        out = self._fresh().knn(query, k)
+        if self.n_stored == 0:
+            self._count_empty(1)
+            return np.empty(0, dtype=np.intp), np.empty(0, dtype=np.float64)
+        k = check_k(k)
+        # Over-fetch so the answer survives tombstone masking: every
+        # masked hit could displace a live one.
+        fetch = k + int(self._tombstones.size)
+        ids, dists = self._fresh().knn(query, fetch)
         self._sync()
-        return out
+        if self._tombstones.size:
+            keep = ~np.isin(ids, self._tombstones)
+            ids, dists = ids[keep], dists[keep]
+        return ids[:k], dists[:k]
 
     def counters(self) -> Dict[str, int]:
         self._sync()
@@ -520,5 +693,7 @@ class DynamicIndexWrapper(NeighborIndex):
         clone.stored = None
         clone.radius_hint = None
         clone._pending = False
+        clone._tombstones = np.empty(0, dtype=np.intp)
+        clone.n_compactions = 0
         clone.reset_counters()
         return clone

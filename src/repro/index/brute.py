@@ -37,6 +37,7 @@ class BruteForceIndex(NeighborIndex):
 
     name = "brute"
     supports_insert = True
+    supports_delete = True
 
     def _build(self) -> None:
         # Nothing to precompute: the stored index array *is* the
@@ -48,6 +49,12 @@ class BruteForceIndex(NeighborIndex):
         # Re-sorting keeps the scan order — and therefore every query
         # answer — bit-identical to a fresh build over the union.
         self.stored = np.sort(self.stored)
+        self._all = self.n_stored == self.dataset.n
+
+    def _delete(self, removed: np.ndarray) -> None:
+        # The base class already compacted ``self.stored`` preserving
+        # order (sorted stays sorted — the _FlatCollector invariant);
+        # only the whole-dataset shortcut needs refreshing.
         self._all = self.n_stored == self.dataset.n
 
     def _targets(self):
@@ -108,6 +115,9 @@ class BruteForceIndex(NeighborIndex):
         dataset = self._require_built()
         queries = np.asarray(queries, dtype=np.intp)
         radius = check_radii(radius, len(queries))
+        if self.n_stored == 0:  # deleted to empty
+            self.n_range_queries += len(queries)
+            return CSRQueryResult.empty(len(queries), with_distances)
         metric = dataset.metric
         targets = self._targets()
         flat = self._FlatCollector(self, with_distances)
@@ -149,6 +159,9 @@ class BruteForceIndex(NeighborIndex):
     ) -> CSRQueryResult:
         dataset = self._require_built()
         radius = check_radii(radius, len(payloads))
+        if self.n_stored == 0:  # deleted to empty
+            self.n_range_queries += len(payloads)
+            return CSRQueryResult.empty(len(payloads), with_distances)
         metric = dataset.metric
         per_query = isinstance(radius, np.ndarray)
         red_radii = self._reduced_radii(metric, radius) if per_query else None
@@ -190,6 +203,9 @@ class BruteForceIndex(NeighborIndex):
     def knn(self, query: int, k: int) -> QueryResult:
         dataset = self._require_built()
         k = check_k(k)
+        if self.n_stored == 0:  # deleted to empty
+            self.n_range_queries += 1
+            return np.empty(0, dtype=np.intp), np.empty(0, dtype=np.float64)
         metric = dataset.metric
         targets = self._targets()
         row = np.asarray(

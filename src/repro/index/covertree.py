@@ -41,6 +41,13 @@ class CoverTreeIndex(NeighborIndex):
 
     name = "covertree"
     supports_insert = True
+    #: No native removal: deleting a tree node would mean re-parenting
+    #: its subtree under the covering/separation invariants.  Deletion
+    #: consumers get this backend behind
+    #: :class:`~repro.index.base.DynamicIndexWrapper`, which tombstones
+    #: deleted ids and compacts with a periodic rebuild instead
+    #: (``build_dynamic_index(..., deletes=True)`` wraps automatically).
+    supports_delete = False
 
     def _build(self) -> None:
         # Insertion in ascending index order keeps construction

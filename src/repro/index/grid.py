@@ -24,6 +24,11 @@ Projecting keeps the neighbor-cell enumeration bounded (``3^g`` instead
 of ``3^d``) at the price of looser candidate sets in high ambient
 dimension — the exact filter restores correctness, and the benchmark
 ``benchmarks/bench_index_backends.py`` measures the trade.
+
+The grid is fully dynamic: cells hold global ids, so inserts bin new
+points in amortized O(1) and deletes remove ids from their cells in
+amortized O(cell) with emptied cells pruned — the lattice itself
+(projection dims, origin, width) stays fixed for the index's lifetime.
 """
 
 from __future__ import annotations
@@ -39,7 +44,6 @@ from repro.index.base import (
     QueryResult,
     check_k,
     check_radii,
-    check_radius,
 )
 from repro.index.csr import csr_from_parts
 from repro.metricspace.base import Metric
@@ -165,6 +169,7 @@ class GridIndex(NeighborIndex):
 
     name = "grid"
     supports_insert = True
+    supports_delete = True
 
     def __init__(
         self, cell_width: Optional[float] = None, max_grid_dims: int = 3
@@ -218,20 +223,20 @@ class GridIndex(NeighborIndex):
         self._origin = proj.min(axis=0)
         self._width = self._pick_width(proj)
         cells = np.floor((proj - self._origin) / self._width).astype(np.int64)
-        # Group stored positions by cell, kept both as a dict (O(1)
-        # lookups for the adjacent-offset path) and an aligned key
-        # array + group list (vectorized occupied-cell scans when a
-        # query radius spans many cell widths).
-        self._cell_keys, self._cell_groups = _group_rows(cells)
+        # Group stored *ids* by cell, kept both as a dict (O(1) lookups
+        # for the adjacent-offset path) and an aligned key array +
+        # group list (vectorized occupied-cell scans when a query
+        # radius spans many cell widths).  Cells hold global ids rather
+        # than positions into ``self.stored`` so deletion compacts the
+        # stored array without remapping every cell.
+        self._cell_keys, groups = _group_rows(cells)
+        self._cell_groups: List[np.ndarray] = [self.stored[g] for g in groups]
         self._cells: Dict[Tuple[int, ...], np.ndarray] = {}
         self._cell_pos: Dict[Tuple[int, ...], int] = {}
         for u, (key, group) in enumerate(zip(self._cell_keys, self._cell_groups)):
             tkey = tuple(int(c) for c in key)
             self._cells[tkey] = group
             self._cell_pos[tkey] = u
-        # build() sorts the stored ids, so positions order == id order
-        # until an insert appends out of order.
-        self._ids_monotonic = True
 
     def _insert(self, new: np.ndarray) -> None:
         """Bin the new points into cells — amortized O(1) per point.
@@ -241,14 +246,7 @@ class GridIndex(NeighborIndex):
         box (integer cell coordinates extend in every direction), so
         no rebuild is ever needed for correctness.
         """
-        positions = np.arange(self.n_stored - len(new), self.n_stored)
-        if self._ids_monotonic:
-            prior_max = (
-                self.stored[positions[0] - 1] if positions[0] > 0 else -1
-            )
-            ordered = np.all(np.diff(self.stored[positions]) > 0)
-            self._ids_monotonic = bool(ordered and self.stored[positions[0]] > prior_max)
-        coords = self._view.coords(self.dataset.gather(self.stored[positions]))
+        coords = self._view.coords(self.dataset.gather(new))
         proj = coords[:, self._dims]
         cells = np.floor((proj - self._origin) / self._width).astype(np.int64)
         uniq, groups = _group_rows(cells)
@@ -256,7 +254,7 @@ class GridIndex(NeighborIndex):
         fresh_groups = []
         for key, group in zip(uniq, groups):
             tkey = tuple(int(c) for c in key)
-            members = positions[group]
+            members = new[group]
             u = self._cell_pos.get(tkey)
             if u is None:
                 fresh_keys.append(key)
@@ -275,6 +273,53 @@ class GridIndex(NeighborIndex):
                 tkey = tuple(int(c) for c in key)
                 self._cells[tkey] = members
                 self._cell_pos[tkey] = base + off
+
+    def _delete(self, removed: np.ndarray) -> None:
+        """Remove ids from their cells — amortized O(cell) per point.
+
+        The removed points' *current* payloads locate their cells (the
+        interface contract: delete before recycling a payload slot);
+        cells emptied by the removal are pruned from the occupied-cell
+        table by swapping with the last entry, so the table never holds
+        ghost cells.
+        """
+        coords = self._view.coords(self.dataset.gather(removed))
+        proj = coords[:, self._dims]
+        cells = np.floor((proj - self._origin) / self._width).astype(np.int64)
+        uniq, groups = _group_rows(cells)
+        for key, group in zip(uniq, groups):
+            tkey = tuple(int(c) for c in key)
+            drop = removed[group]
+            u = self._cell_pos.get(tkey)
+            members = self._cell_groups[u] if u is not None else None
+            kept = (
+                members[~np.isin(members, drop)] if members is not None else None
+            )
+            if members is None or len(kept) != len(members) - len(drop):
+                raise RuntimeError(
+                    "grid delete: a point's payload no longer hashes to "
+                    "the cell it was indexed under (payload mutated "
+                    "before delete?)"
+                )
+            if kept.size:
+                self._cell_groups[u] = kept
+                self._cells[tkey] = kept
+            else:
+                self._prune_cell(tkey, u)
+
+    def _prune_cell(self, tkey: Tuple[int, ...], u: int) -> None:
+        """Drop an emptied cell: swap the last table entry into its row
+        and shrink the key array / group list by one."""
+        last = len(self._cell_groups) - 1
+        if u != last:
+            last_key = self._cell_keys[last].copy()
+            self._cell_keys[u] = last_key
+            self._cell_groups[u] = self._cell_groups[last]
+            self._cell_pos[tuple(int(c) for c in last_key)] = u
+        self._cell_keys = self._cell_keys[:last]
+        self._cell_groups.pop()
+        del self._cells[tkey]
+        del self._cell_pos[tkey]
 
     def _pick_width(self, proj: np.ndarray) -> float:
         if self.cell_width is not None:
@@ -321,8 +366,8 @@ class GridIndex(NeighborIndex):
         offsets: Optional[np.ndarray],
         view_radius: float,
     ) -> np.ndarray:
-        """Stored positions reachable from ``cell`` (sorted, so global
-        indices come out ascending)."""
+        """Stored ids reachable from ``cell`` (sorted ascending, the
+        interface contract's result order)."""
         if offsets is None:
             # Occupied-cell scan: the same box lower bound, evaluated
             # against every occupied cell key in one vectorized pass.
@@ -344,13 +389,7 @@ class GridIndex(NeighborIndex):
                     chunks.append(hit)
         if not chunks:
             return np.empty(0, dtype=np.intp)
-        pos = np.concatenate(chunks)
-        if self._ids_monotonic:
-            # Position order == global-id order: a plain sort suffices.
-            return np.sort(pos)
-        # Inserted points broke the monotone position→id map; order by
-        # the global ids themselves so results stay ascending.
-        return pos[np.argsort(self.stored[pos], kind="stable")]
+        return np.sort(np.concatenate(chunks).astype(np.intp, copy=False))
 
     def _range_impl(
         self,
@@ -381,7 +420,7 @@ class GridIndex(NeighborIndex):
         candidate id, distance)`` triple via ``np.nonzero``; a query's
         hits all come from its single cell-group — either as a block or
         through the flat small-group pair batch (``eval_pairs(qs,
-        cand_pos) -> bool mask``, used for scalar decision-only groups
+        cand_ids) -> bool mask``, used for scalar decision-only groups
         too small to engage the cascade) — in ascending-id order, so
         the stable sort in :func:`csr_from_parts` restores row-major
         order without touching within-row order.
@@ -417,7 +456,7 @@ class GridIndex(NeighborIndex):
         # aligned evaluation after the loop — the same float64
         # threshold test, minus ~all of the per-group overhead.
         flat_q_parts: List[np.ndarray] = []
-        flat_pos_parts: List[np.ndarray] = []
+        flat_id_parts: List[np.ndarray] = []
         batch_pairs = eval_pairs is not None and certified
         # Queries sharing a cell share the same candidate set: group
         # them so the exact filter runs one block per occupied cell.
@@ -428,20 +467,19 @@ class GridIndex(NeighborIndex):
                 # Gather at the group's widest radius; the per-row
                 # exact filter below restores each query's own bound.
                 group_view_r = float(view_radii[group].max())
-                cand_pos = self._gather(
+                cand = self._gather(
                     uniq[u], self._cell_offsets(group_view_r), group_view_r
                 )
             else:
-                cand_pos = self._gather(uniq[u], offsets, view_r)
-            if cand_pos.size == 0:
+                cand = self._gather(uniq[u], offsets, view_r)
+            if cand.size == 0:
                 continue
-            if batch_pairs and not cascade_engaged(len(group) * cand_pos.size):
+            if batch_pairs and not cascade_engaged(len(group) * cand.size):
                 flat_q_parts.append(
-                    np.repeat(group, cand_pos.size)
+                    np.repeat(group, cand.size)
                 )
-                flat_pos_parts.append(np.tile(cand_pos, len(group)))
+                flat_id_parts.append(np.tile(cand, len(group)))
                 continue
-            cand = self.stored[cand_pos]
             # Chunked exact filter: a dense cell (everything hashing
             # together under a generous radius) must not materialize
             # one |group| x |cand| matrix — keep the byte-bounded
@@ -477,15 +515,15 @@ class GridIndex(NeighborIndex):
                     )
         if flat_q_parts:
             flat_q = np.concatenate(flat_q_parts)
-            flat_pos = np.concatenate(flat_pos_parts)
+            flat_ids = np.concatenate(flat_id_parts)
             step = pairs_per_slice(self.dataset)
             for lo in range(0, flat_q.size, step):
                 qs = flat_q[lo : lo + step]
-                cs = flat_pos[lo : lo + step]
+                cs = flat_ids[lo : lo + step]
                 ok = eval_pairs(qs, cs)
                 self.n_candidates += ok.size
                 qidx_parts.append(qs[ok])
-                id_parts.append(self.stored[cs[ok]])
+                id_parts.append(cs[ok])
         self.n_range_queries += n_queries
         return csr_from_parts(n_queries, qidx_parts, id_parts, dist_parts)
 
@@ -504,10 +542,8 @@ class GridIndex(NeighborIndex):
         def eval_certified(sub, cand):
             return dataset.cross_certified(queries[sub], cand, radius)
 
-        def eval_pairs(qs, cand_pos):
-            return dataset.pair_certified(
-                queries[qs], self.stored[cand_pos], radius
-            )
+        def eval_pairs(qs, cand_ids):
+            return dataset.pair_certified(queries[qs], cand_ids, radius)
 
         return self._range_impl(
             qcells, eval_rows, radius, with_distances, eval_certified,
@@ -545,9 +581,9 @@ class GridIndex(NeighborIndex):
             dataset.n_cross_evals += mask.size
             return mask
 
-        def eval_pairs(qs, cand_pos):
+        def eval_pairs(qs, cand_ids):
             out = metric.pair_certified(
-                parr[qs], dataset.gather(self.stored[cand_pos]), radius
+                parr[qs], dataset.gather(cand_ids), radius
             )
             dataset.n_cross_blocks += 1
             dataset.n_cross_evals += len(out)
@@ -568,6 +604,9 @@ class GridIndex(NeighborIndex):
     def knn(self, query: int, k: int) -> QueryResult:
         dataset = self._require_built()
         k = check_k(k)
+        if self.n_stored == 0:  # deleted to empty
+            self.n_range_queries += 1
+            return np.empty(0, dtype=np.intp), np.empty(0, dtype=np.float64)
         metric = dataset.metric
         qproj = self._view.coords(dataset.gather([int(query)]))[0, self._dims]
         qcell = np.floor((qproj - self._origin) / self._width).astype(np.int64)
@@ -587,26 +626,28 @@ class GridIndex(NeighborIndex):
         # the *newly* reached cells; candidates from earlier rings keep
         # their already-computed reduced distances, so a far-from-mass
         # query costs O(distinct candidates) total instead of
-        # O(rings · candidates).
-        seen = np.zeros(self.n_stored, dtype=bool)
-        pos_parts: List[np.ndarray] = []
+        # O(rings · candidates).  ``seen`` holds the (sorted) ids
+        # already evaluated — _gather returns sorted ids, so the
+        # membership test is one np.isin over sorted arrays.
+        seen = np.empty(0, dtype=np.intp)
+        id_parts: List[np.ndarray] = []
         red_parts: List[np.ndarray] = []
         n_eval = 0
         while True:
             offsets = self._cell_offsets(reach_r)
             gathered = self._gather(qcell, offsets, reach_r)
-            fresh = gathered[~seen[gathered]]
+            fresh = (
+                gathered[~np.isin(gathered, seen)] if seen.size else gathered
+            )
             if fresh.size:
-                seen[fresh] = True
-                row = dataset.cross(
-                    [int(query)], self.stored[fresh], reduced=True
-                )[0]
+                seen = np.union1d(seen, fresh)
+                row = dataset.cross([int(query)], fresh, reduced=True)[0]
                 self.n_candidates += fresh.size
-                pos_parts.append(fresh)
+                id_parts.append(fresh)
                 red_parts.append(np.asarray(row, dtype=np.float64))
                 n_eval += fresh.size
             if n_eval >= k:
-                cand = self.stored[np.concatenate(pos_parts)]
+                cand = np.concatenate(id_parts)
                 dists = np.asarray(
                     metric.expand_reduced(np.concatenate(red_parts)),
                     dtype=np.float64,

@@ -240,29 +240,36 @@ def build_dynamic_index(
     dataset: MetricDataset,
     indices: Optional[IndexArray] = None,
     radius_hint: Optional[float] = None,
+    deletes: bool = False,
 ) -> NeighborIndex:
     """Like :func:`build_index`, but the result is guaranteed to accept
-    :meth:`~repro.index.base.NeighborIndex.insert_batch`.
+    :meth:`~repro.index.base.NeighborIndex.insert_batch` — and, with
+    ``deletes=True``, :meth:`~repro.index.base.NeighborIndex.delete_batch`.
 
     The built-in backends all insert natively; a registered backend
     without insert support is wrapped in
     :class:`~repro.index.base.DynamicIndexWrapper` (buffer inserts,
-    rebuild lazily before the next query).  Callers that grow an index
-    incrementally — the Gonzalez round loop, the streaming summary —
-    go through here.
+    rebuild lazily before the next query).  With ``deletes=True``,
+    backends without native removal (the cover tree) are wrapped too:
+    the wrapper tombstones deleted ids and compacts periodically, while
+    still forwarding inserts to the inner backend's native path.
+    Callers that grow an index incrementally — the Gonzalez round loop,
+    the streaming summary, the windowed eviction path — go through
+    here.
     """
     if isinstance(spec, NeighborIndex):
         instance: Optional[NeighborIndex] = spec
     elif isinstance(spec, type) and issubclass(spec, NeighborIndex):
         instance = spec()
     else:
-        # Name/auto specs: the registered built-ins all insert natively,
-        # so delegate (keeping the auto-grid probe) and wrap only the
-        # exotic case of a registered backend without insert support.
+        # Name/auto specs: delegate (keeping the auto-grid probe) when
+        # the resolved backend natively supports everything asked for,
+        # and instantiate for wrapping otherwise.
         name = resolve_index_name(spec, dataset, dataset.n if indices is None else len(indices))
-        if INDEX_REGISTRY[name].supports_insert:
+        cls = INDEX_REGISTRY[name]
+        if cls.supports_insert and (not deletes or cls.supports_delete):
             return build_index(spec, dataset, indices=indices, radius_hint=radius_hint)
-        instance = INDEX_REGISTRY[name]()
-    if not instance.supports_insert:
+        instance = cls()
+    if not instance.supports_insert or (deletes and not instance.supports_delete):
         instance = DynamicIndexWrapper(instance)
     return instance.build(dataset, indices=indices, radius_hint=radius_hint)

@@ -29,7 +29,7 @@ Conventions the fold preserves:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional
+from typing import Dict, FrozenSet
 
 from repro.obs.trace import Span
 

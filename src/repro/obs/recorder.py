@@ -31,7 +31,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Union
+from typing import Any, Dict, Iterable, Optional, Union
 
 #: Bump when the artifact layout changes incompatibly.
 SCHEMA_VERSION = 1

@@ -17,7 +17,7 @@ from repro.core import (
     build_summary,
     radius_guided_gonzalez,
 )
-from repro.metricspace import EditDistanceMetric, MetricDataset
+from repro.metricspace import MetricDataset
 
 from conftest import same_cluster_pairs
 

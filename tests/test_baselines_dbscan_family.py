@@ -5,8 +5,7 @@ import numpy as np
 import pytest
 
 from repro.baselines import DBSCANPlusPlus, DYWDBSCAN, GanTaoDBSCAN, OriginalDBSCAN, dbscan
-from repro.core import MetricDBSCAN
-from repro.metricspace import EditDistanceMetric, EuclideanMetric, ManhattanMetric, MetricDataset
+from repro.metricspace import EditDistanceMetric, ManhattanMetric, MetricDataset
 
 from conftest import core_partition, same_cluster_pairs
 

@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro.baselines import OriginalDBSCAN
-from repro.core import MetricDBSCAN, metric_dbscan, radius_guided_gonzalez
+from repro.core import MetricDBSCAN, metric_dbscan
 from repro.metricspace import EditDistanceMetric, MetricDataset
 
 from conftest import core_partition

@@ -7,7 +7,6 @@ stale API in the examples fails the suite rather than the reader.
 
 import importlib.util
 import pathlib
-import sys
 
 import pytest
 

@@ -1,0 +1,357 @@
+"""Deletion-parity suite for the dynamic-index layer.
+
+The load-bearing contract mirrors the insertion discipline: an index
+that has had points removed via ``delete_batch`` must answer every
+query exactly as one built fresh over the survivors — for the native
+backends (brute row compaction, grid cell removal) and for the
+tombstone wrapper the cover tree rides in.  On top sit the windowed
+eviction A/B (native-delete expiry produces labels bit-identical to
+rebuild-on-expiry, with zero full rebuilds on the delete path) and the
+TTL / decay forgetting policies of :class:`DecayingApproxDBSCAN`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.windowed import DecayingApproxDBSCAN, WindowedApproxDBSCAN
+from repro.datasets import make_blobs
+from repro.index import build_index, build_dynamic_index
+from repro.index.base import CSRQueryResult, DynamicIndexWrapper
+from repro.metricspace import MetricDataset
+
+BACKENDS = ["brute", "grid", "covertree"]
+#: Every ``REPRO_DEFAULT_INDEX`` setting the CI matrix exercises.
+INDEX_SETTINGS = ["auto", "brute", "grid", "covertree"]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    pts, _ = make_blobs(
+        n=300, n_clusters=4, dim=4, std=0.6, spread=7.0,
+        outlier_fraction=0.1, seed=3,
+    )
+    return MetricDataset(pts)
+
+
+def _assert_same_answers(got, want):
+    for (gi, gd), (wi, wd) in zip(got, want):
+        np.testing.assert_array_equal(gi, wi)
+        np.testing.assert_allclose(gd, wd)
+
+
+def _assert_matches_fresh(index, fresh, n):
+    queries = np.arange(0, n, 7)
+    for radius in (0.4, 1.5, 5.0):
+        _assert_same_answers(
+            index.range_query_batch(queries, radius),
+            fresh.range_query_batch(queries, radius),
+        )
+    per_query = np.linspace(0.3, 4.0, len(queries))
+    _assert_same_answers(
+        index.range_query_batch(queries, per_query),
+        fresh.range_query_batch(queries, per_query),
+    )
+    got = index.range_query_batch_csr(queries, 1.5)
+    want = fresh.range_query_batch_csr(queries, 1.5)
+    np.testing.assert_array_equal(got.offsets, want.offsets)
+    np.testing.assert_array_equal(got.ids, want.ids)
+    payloads = [index.dataset.point(int(q)) for q in queries[:5]]
+    _assert_same_answers(
+        index.range_query_points(payloads, 1.5),
+        fresh.range_query_points(payloads, 1.5),
+    )
+    for q in range(0, n, 41):
+        gi, gd = index.knn(q, 6)
+        wi, wd = fresh.knn(q, 6)
+        np.testing.assert_array_equal(gi, wi)
+        np.testing.assert_allclose(gd, wd)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestDeletedEqualsFresh:
+    def test_out_of_order_delete_matches_fresh(self, dataset, backend):
+        rng = np.random.default_rng(7)
+        drop = rng.permutation(dataset.n)[:90]  # unsorted ids
+        index = build_dynamic_index(
+            backend, dataset, radius_hint=1.5, deletes=True
+        )
+        index.delete_batch(drop)
+        survivors = np.setdiff1d(np.arange(dataset.n), drop)
+        assert index.n_stored == survivors.size
+        fresh = build_index(backend, dataset, indices=survivors, radius_hint=1.5)
+        _assert_matches_fresh(index, fresh, dataset.n)
+
+    def test_delete_then_reinsert_matches_full(self, dataset, backend):
+        rng = np.random.default_rng(8)
+        drop = rng.permutation(dataset.n)[:60]
+        index = build_dynamic_index(
+            backend, dataset, radius_hint=1.5, deletes=True
+        )
+        index.delete_batch(drop)
+        index.insert_batch(drop)
+        assert index.n_stored == dataset.n
+        fresh = build_index(backend, dataset, radius_hint=1.5)
+        _assert_matches_fresh(index, fresh, dataset.n)
+
+    def test_interleaved_rounds_match_fresh(self, dataset, backend):
+        rng = np.random.default_rng(9)
+        index = build_dynamic_index(
+            backend, dataset, indices=np.arange(150),
+            radius_hint=1.5, deletes=True,
+        )
+        stored = set(range(150))
+        for round_seed in range(4):
+            gone = rng.choice(sorted(stored), size=30, replace=False)
+            index.delete_batch(gone)
+            stored -= set(int(g) for g in gone)
+            fresh_ids = rng.choice(
+                np.setdiff1d(np.arange(dataset.n), sorted(stored)),
+                size=25, replace=False,
+            )
+            index.insert_batch(fresh_ids)
+            stored |= set(int(f) for f in fresh_ids)
+        fresh = build_index(
+            backend, dataset, indices=sorted(stored), radius_hint=1.5
+        )
+        _assert_matches_fresh(index, fresh, dataset.n)
+
+    def test_delete_to_empty_then_insert(self, dataset, backend):
+        index = build_dynamic_index(
+            backend, dataset, indices=np.arange(40),
+            radius_hint=1.5, deletes=True,
+        )
+        index.delete_batch(np.arange(40))
+        assert index.n_stored == 0
+        for ids, dists in index.range_query_batch(np.arange(6), 2.0):
+            assert ids.size == 0 and dists.size == 0
+        assert index.range_query_batch_csr(np.arange(6), 2.0).ids.size == 0
+        ids, _ = index.knn(0, 4)
+        assert ids.size == 0
+        index.insert_batch([5, 1, 3])
+        ids, _ = index.range_query(1, 1e9)
+        np.testing.assert_array_equal(ids, [1, 3, 5])
+
+
+class TestValidation:
+    def test_unbuilt_raises(self, dataset):
+        from repro.index.brute import BruteForceIndex
+
+        with pytest.raises(RuntimeError):
+            BruteForceIndex().delete_batch([0])
+
+    def test_duplicate_ids_raise(self, dataset):
+        index = build_index("brute", dataset, radius_hint=1.5)
+        with pytest.raises(ValueError, match="duplicate"):
+            index.delete_batch([3, 3])
+
+    def test_unstored_ids_raise(self, dataset):
+        index = build_index(
+            "grid", dataset, indices=np.arange(100), radius_hint=1.5
+        )
+        with pytest.raises(ValueError, match="not stored"):
+            index.delete_batch([5, 250])
+
+    def test_backend_without_native_delete_raises(self, dataset):
+        index = build_index("covertree", dataset, indices=np.arange(50))
+        assert not index.supports_delete
+        with pytest.raises(NotImplementedError, match="DynamicIndexWrapper"):
+            index.delete(3)
+
+    def test_empty_delete_is_noop(self, dataset):
+        index = build_index("brute", dataset, radius_hint=1.5)
+        index.delete_batch(np.empty(0, dtype=np.intp))
+        assert index.n_stored == dataset.n
+
+
+class TestTombstoneWrapper:
+    def test_wrapping_and_native_paths(self, dataset):
+        wrapped = build_dynamic_index(
+            "covertree", dataset, indices=np.arange(60),
+            radius_hint=1.5, deletes=True,
+        )
+        assert isinstance(wrapped, DynamicIndexWrapper)
+        native = build_dynamic_index(
+            "grid", dataset, indices=np.arange(60),
+            radius_hint=1.5, deletes=True,
+        )
+        assert not isinstance(native, DynamicIndexWrapper)
+
+    def test_tombstones_visible_until_compaction(self, dataset):
+        index = build_dynamic_index(
+            "covertree", dataset, indices=np.arange(100),
+            radius_hint=1.5, deletes=True,
+        )
+        index.delete_batch(np.arange(0, 100, 3))  # 34 of 100: above half
+        assert index.tombstones.size == 34
+        assert index.n_compactions == 0
+        ids, _ = index.range_query(1, 1e9)
+        assert not np.isin(ids, np.arange(0, 100, 3)).any()
+
+    def test_compaction_below_live_fraction(self, dataset):
+        index = build_dynamic_index(
+            "covertree", dataset, indices=np.arange(100),
+            radius_hint=1.5, deletes=True,
+        )
+        index.delete_batch(np.arange(60))  # live fraction 0.4 < 0.5
+        assert index.n_compactions == 1
+        index.range_query(70, 1.0)  # lazy rebuild happens on query
+        assert index.tombstones.size == 0
+        assert index.inner.n_stored == 40
+
+    def test_knn_overfetches_past_tombstones(self, dataset):
+        index = build_dynamic_index(
+            "covertree", dataset, indices=np.arange(80),
+            radius_hint=1.5, deletes=True,
+        )
+        wi, wd = build_index(
+            "covertree", dataset, indices=np.arange(40, 80)
+        ).knn(50, 8)
+        index.delete_batch(np.arange(40))
+        gi, gd = index.knn(50, 8)
+        np.testing.assert_array_equal(gi, wi)
+        np.testing.assert_allclose(gd, wd)
+
+
+class TestWithoutIds:
+    def _csr(self):
+        return CSRQueryResult(
+            np.array([0, 2, 2, 5], dtype=np.intp),
+            np.array([1, 5, 2, 5, 9], dtype=np.intp),
+            np.array([0.1, 0.2, 0.3, 0.4, 0.5]),
+        )
+
+    def test_filters_rows_and_recomputes_offsets(self):
+        out = self._csr().without_ids(np.array([5]))
+        np.testing.assert_array_equal(out.offsets, [0, 1, 1, 3])
+        np.testing.assert_array_equal(out.ids, [1, 2, 9])
+        np.testing.assert_allclose(out.dists, [0.1, 0.3, 0.5])
+
+    def test_no_match_returns_self(self):
+        csr = self._csr()
+        assert csr.without_ids(np.array([42])) is csr
+        assert csr.without_ids(np.empty(0, dtype=np.intp)) is csr
+
+    def test_drop_everything(self):
+        out = self._csr().without_ids(np.array([1, 2, 5, 9]))
+        np.testing.assert_array_equal(out.offsets, [0, 0, 0, 0])
+        assert out.ids.size == 0
+
+
+@pytest.mark.parametrize("setting", INDEX_SETTINGS)
+class TestWindowedEvictionParity:
+    """Bucket expiry via native deletion ≡ rebuild-on-expiry, under
+    every ``REPRO_DEFAULT_INDEX`` setting the CI matrix runs."""
+
+    def _run(self, setting, evict_rebuild):
+        rng = np.random.default_rng(17)
+        stream = [rng.normal([step / 40.0, 0.0], 0.25) for step in range(500)]
+        model = WindowedApproxDBSCAN(
+            1.2, 5, rho=0.5, window=200, n_buckets=5,
+            index=setting, evict_rebuild=evict_rebuild,
+        )
+        model.insert_many(stream)
+        queries = [np.array([x, 0.0]) for x in np.linspace(-2.0, 14.0, 12)]
+        labels = [model.predict(q) for q in queries]
+        return model, (labels, model.n_clusters, model.n_live_centers)
+
+    def test_delete_path_matches_rebuild_path(self, monkeypatch, setting):
+        monkeypatch.setenv("REPRO_DEFAULT_INDEX", setting)
+        deleter, got = self._run(setting, evict_rebuild=False)
+        rebuilder, want = self._run(setting, evict_rebuild=True)
+        assert got == want
+        # The tentpole guarantee: expiry on the default path performs
+        # zero full-index rebuilds — one batch delete per bucket.
+        assert deleter.n_evict_rebuilds == 0
+        assert deleter.n_evict_deletes > 0
+        assert rebuilder.n_evict_deletes == 0
+        assert rebuilder.n_evict_rebuilds > 0
+        assert "evict_index" in deleter.timings.phases
+
+    def test_index_tracks_live_centers(self, monkeypatch, setting):
+        monkeypatch.setenv("REPRO_DEFAULT_INDEX", setting)
+        model, _ = self._run(setting, evict_rebuild=False)
+        assert model._index is not None
+        assert model._index.n_stored == model.n_live_centers
+
+
+class TestDecayingTTL:
+    STREAM_SEED = 23
+
+    def _stream(self, n=450):
+        rng = np.random.default_rng(self.STREAM_SEED)
+        return [rng.normal([step / 40.0, 0.0], 0.25) for step in range(n)]
+
+    def _view(self, model):
+        queries = [np.array([x, 0.0]) for x in np.linspace(-2.0, 12.0, 12)]
+        return (
+            [model.predict(q) for q in queries],
+            model.n_clusters,
+            model.n_live_centers,
+        )
+
+    def test_uniform_ttl_matches_one_point_buckets(self):
+        stream = self._stream()
+        window = 100
+        ref = WindowedApproxDBSCAN(1.2, 5, rho=0.5, window=window, n_buckets=window)
+        for p in stream:
+            ref.insert(p)
+        want = self._view(ref)
+        for index in (None, "grid"):
+            model = DecayingApproxDBSCAN(1.2, 5, rho=0.5, ttl=window, index=index)
+            model.insert_many(stream)
+            assert self._view(model) == want
+
+    def test_insert_many_matches_insert_loop(self):
+        stream = self._stream(300)
+        for kwargs in ({"ttl": 80}, {"decay": 0.02}):
+            looped = DecayingApproxDBSCAN(1.2, 5, rho=0.5, index="grid", **kwargs)
+            for p in stream:
+                looped.insert(p)
+            batched = DecayingApproxDBSCAN(1.2, 5, rho=0.5, index="grid", **kwargs)
+            batched.insert_many(stream)
+            assert self._view(batched) == self._view(looped)
+
+    def test_per_point_ttl_outlives_the_default(self):
+        model = DecayingApproxDBSCAN(1.0, 2, rho=0.5, ttl=5)
+        anchor = np.array([100.0, 100.0])
+        model.insert(anchor, ttl=10_000)
+        model.insert(anchor + [0.2, 0.0], ttl=10_000)
+        for p in self._stream(200):
+            model.insert(p)
+        assert model.predict(np.array([100.1, 100.0])) >= 0
+        # Default-lifetime points from 200 arrivals ago are long gone.
+        assert model.predict(np.array([0.0, 0.0])) == -1
+
+    def test_decay_forgets_abandoned_region(self):
+        stream = self._stream()
+        model = DecayingApproxDBSCAN(1.2, 5, rho=0.5, decay=0.01, index="grid")
+        model.insert_many(stream)
+        assert model.predict(np.array([-1.5, 0.0])) == -1  # decayed away
+        assert model.predict(np.array([11.0, 0.0])) >= 0  # current region
+        assert model.n_evict_rebuilds == 0
+
+    def test_decay_indexed_matches_dense(self):
+        stream = self._stream(350)
+        dense = DecayingApproxDBSCAN(1.2, 5, rho=0.5, decay=0.015)
+        dense.insert_many(stream)
+        want = self._view(dense)
+        for backend in BACKENDS:
+            model = DecayingApproxDBSCAN(1.2, 5, rho=0.5, decay=0.015, index=backend)
+            model.insert_many(stream)
+            assert self._view(model) == want
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            DecayingApproxDBSCAN(1.0, 3)
+        with pytest.raises(ValueError, match="exactly one"):
+            DecayingApproxDBSCAN(1.0, 3, ttl=10, decay=0.1)
+        with pytest.raises(ValueError, match="ttl"):
+            DecayingApproxDBSCAN(1.0, 3, ttl=0)
+        with pytest.raises(ValueError, match="decay"):
+            DecayingApproxDBSCAN(1.0, 3, decay=-1.0)
+        with pytest.raises(ValueError, match="per-point ttl"):
+            DecayingApproxDBSCAN(1.0, 3, decay=0.1).insert(
+                np.array([0.0, 0.0]), ttl=5
+            )

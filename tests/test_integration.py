@@ -3,11 +3,9 @@ sanity checks via distance counting, and quality floors on the
 registry's stand-in datasets."""
 
 import numpy as np
-import pytest
 
 from repro import (
     ApproxMetricDBSCAN,
-    CountingMetric,
     MetricDBSCAN,
     MetricDataset,
     StreamingApproxDBSCAN,

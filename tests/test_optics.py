@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.baselines import OPTICS, OriginalDBSCAN
-from repro.metricspace import EditDistanceMetric, MetricDataset
+from repro.metricspace import MetricDataset
 
 from conftest import core_partition
 

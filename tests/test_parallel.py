@@ -8,7 +8,7 @@ import pytest
 from conftest import assert_labels_equivalent, core_partition
 from repro.core.approx import ApproxMetricDBSCAN
 from repro.core.exact import MetricDBSCAN
-from repro.datasets import make_blobs, make_moons
+from repro.datasets import make_blobs
 from repro.evaluation import (
     adjusted_rand_index,
     canonical_labels,

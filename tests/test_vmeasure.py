@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.evaluation import (
-    adjusted_rand_index,
     homogeneity_completeness_v,
     pair_confusion_matrix,
     purity,
